@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 15: fraction of cycles by number of ready instructions in the
+ * (dual-issue) reservation stations, with PUBS disabled.
+ *
+ * The paper's analysis: on sjeng, more than two instructions are ready
+ * in only ~12.8% of RS-cycles, so a prioritizing issue policy has
+ * almost nothing to reorder — explaining Figure 14's null result.
+ */
+
+#include "bench_util.h"
+
+using namespace bench;
+using minjie::xs::CoreConfig;
+using minjie::xs::PerfCounters;
+
+int
+main()
+{
+    bool fast = fastMode();
+    InstCount budget = fast ? 60'000 : 500'000;
+
+    auto prog = wl::buildProxy(wl::specIntSuite()[5], 1'000'000); // sjeng
+    CoreConfig cfg = CoreConfig::nh(); // AGE policy (PUBS disabled)
+
+    xs::Soc soc(cfg);
+    prog.loadInto(soc.system().dram);
+    soc.setEntry(prog.entry);
+    soc.runUntilInstrs(budget, 400'000'000);
+    const PerfCounters &p = soc.core(0).perf();
+
+    std::printf("=== Figure 15: ready-instruction distribution in the "
+                "dual-issue RSes (sjeng, PUBS off) ===\n\n");
+    std::printf("%-14s %12s %10s\n", "#ready insts", "RS-cycles",
+                "fraction");
+    hr('-', 40);
+    double moreThanTwo = 0;
+    double expectedBlocking = 0;
+    for (unsigned b = 0; b < PerfCounters::READY_BUCKETS; ++b) {
+        double frac = p.readySamples
+            ? 100.0 * p.readyHist[b] / p.readySamples
+            : 0.0;
+        char label[16];
+        if (b == PerfCounters::READY_BUCKETS - 1)
+            std::snprintf(label, sizeof(label), "%u+", b);
+        else
+            std::snprintf(label, sizeof(label), "%u", b);
+        std::printf("%-14s %12llu %9.2f%%\n", label,
+                    static_cast<unsigned long long>(p.readyHist[b]),
+                    frac);
+        if (b > 2) {
+            moreThanTwo += frac;
+            expectedBlocking += (b - 2) * frac / 100.0;
+        }
+    }
+    hr('-', 40);
+    std::printf("cycles with >2 ready: %.1f%%  (paper: 12.8%%)\n",
+                moreThanTwo);
+    std::printf("avg blocked insts/RS-cycle: %.3f  (paper: 0.215)\n",
+                expectedBlocking);
+    std::printf("\ninterpretation: selection policy only matters in the "
+                ">2-ready cycles; their rarity is why PUBS shows no "
+                "speedup on this machine (Figure 14).\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 6: simulation time with LightSSS disabled vs enabled at
+ * different snapshot intervals.
+ *
+ * The paper simulates single-core (CoreMark) and dual-core (SMP Linux
+ * boot) XIANGSHAN with snapshot intervals from 1s to 60s and shows the
+ * simulation time is flat — fork/COW overhead is in the noise. We run
+ * the cycle model over the CoreMark proxy (single-core) and a memory
+ * stress (dual-core stand-in for the boot workload) with intervals
+ * scaled to our cycle counts.
+ */
+
+#include "bench_util.h"
+
+#include "lightsss/lightsss.h"
+
+using namespace bench;
+using namespace minjie::lightsss;
+
+namespace {
+
+double
+runWithInterval(unsigned nCores, const wl::Program &prog,
+                Cycle interval /* 0 = disabled */, Cycle maxCycles)
+{
+    xs::Soc soc(xs::CoreConfig::nh(), nCores);
+    prog.loadInto(soc.system().dram);
+    soc.setEntry(prog.entry);
+
+    LightSSS sss({interval ? interval : 1, 2, interval != 0});
+    Stopwatch sw;
+    Cycle cycle = 0;
+    while (cycle < maxCycles) {
+        if (interval) {
+            auto role = sss.tick(cycle);
+            if (role == LightSSS::Role::ReplayChild)
+                LightSSS::finishReplay(0); // never triggered here
+        }
+        bool allDone = true;
+        for (unsigned c = 0; c < soc.numCores(); ++c) {
+            if (!soc.core(c).done()) {
+                soc.core(c).tick();
+                allDone = false;
+            }
+        }
+        ++cycle;
+        if (allDone)
+            break;
+    }
+    double sec = sw.elapsedSec();
+    sss.discardAll();
+    return sec;
+}
+
+} // namespace
+
+int
+main()
+{
+    bool fast = fastMode();
+    const Cycle maxCycles = fast ? 300'000 : 3'000'000;
+    const uint64_t iters = fast ? 300 : 3000;
+
+    // Intervals as fractions of the run, mirroring the paper's 1s-60s
+    // sweep against a ~5.5 minute simulation.
+    const Cycle intervals[] = {0, maxCycles / 64, maxCycles / 16,
+                               maxCycles / 4, maxCycles / 2};
+    const char *labels[] = {"disabled", "N/64", "N/16", "N/4", "N/2"};
+
+    std::printf("=== Figure 6: simulation time vs LightSSS snapshot "
+                "interval ===\n");
+    std::printf("(run length %llu cycles; paper shape: flat across all "
+                "intervals)\n\n",
+                static_cast<unsigned long long>(maxCycles));
+
+    for (unsigned cores = 1; cores <= 2; ++cores) {
+        auto prog = cores == 1 ? wl::coremarkProxy(iters)
+                               : wl::memStressProgram(iters * 30, 16);
+        std::printf("%u-core XIANGSHAN (%s):\n", cores,
+                    prog.name.c_str());
+        std::printf("  %-10s %12s %10s\n", "interval", "sim time",
+                    "vs off");
+        double base = 0;
+        for (unsigned i = 0; i < std::size(intervals); ++i) {
+            double sec = runWithInterval(cores, prog, intervals[i],
+                                         maxCycles);
+            if (i == 0)
+                base = sec;
+            std::printf("  %-10s %10.3fs %9.1f%%\n", labels[i], sec,
+                        base > 0 ? 100.0 * sec / base : 0.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("expected shape: all rows within a few %% of 'disabled'"
+                " (paper reports LightSSS overhead below measurement "
+                "noise; LiveSim's comparable overhead is 10-20%%)\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 8: interpreter throughput (MIPS) per SPEC CPU2006 benchmark.
+ *
+ * Compares the four interpreter architectures on every SPECint/SPECfp
+ * proxy: Spike-style (decoded-inst cache + soft-float), QEMU-TCI-style
+ * (per-uop bytecode dispatch), Dromajo-style (no decode cache), and
+ * NEMU (trace-organized uop cache + threaded code + host FP).
+ *
+ * Paper shape: Spike is the best baseline (~142 MIPS int / 106 fp);
+ * NEMU is ~5.16x Spike on SPECint and ~7.71x on SPECfp (up to 16x on
+ * 410.bwaves).
+ */
+
+#include "bench_util.h"
+
+#include "iss/interp.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+
+using namespace bench;
+using namespace minjie;
+
+namespace {
+
+struct EngineResult
+{
+    double mips[4]; // spike, tci, dromajo, nemu
+};
+
+template <typename MakeEngine>
+double
+runEngine(const wl::Program &prog, InstCount budget, MakeEngine make)
+{
+    iss::System sys(256);
+    prog.loadInto(sys.dram);
+    auto engine = make(sys);
+    engine->setHaltFn([&] { return sys.simctrl.exited(); });
+    Stopwatch sw;
+    auto r = engine->run(budget);
+    double sec = sw.elapsedSec();
+    return sec > 0 ? r.executed / sec / 1e6 : 0;
+}
+
+EngineResult
+runAll(const wl::Program &prog, InstCount budget)
+{
+    EngineResult out;
+    out.mips[0] = runEngine(prog, budget, [&](iss::System &sys) {
+        return std::make_unique<iss::SpikeInterp>(sys.bus, 0, prog.entry,
+                                                  16384);
+    });
+    out.mips[1] = runEngine(prog, budget, [&](iss::System &sys) {
+        return std::make_unique<iss::TciInterp>(sys.bus, 0, prog.entry);
+    });
+    out.mips[2] = runEngine(prog, budget, [&](iss::System &sys) {
+        return std::make_unique<iss::DromajoInterp>(sys.bus, 0,
+                                                    prog.entry);
+    });
+    out.mips[3] = runEngine(prog, budget, [&](iss::System &sys) {
+        return std::make_unique<nemu::Nemu>(sys.bus, sys.dram, 0,
+                                            prog.entry, 16384);
+    });
+    return out;
+}
+
+void
+runSuite(const char *title, const std::vector<wl::ProxySpec> &suite,
+         InstCount budget, uint64_t iterations)
+{
+    std::printf("%s\n", title);
+    std::printf("%-18s %9s %9s %9s %9s %9s\n", "benchmark", "Spike",
+                "QEMU-TCI", "Dromajo", "NEMU", "NEMU/Spk");
+    hr();
+    std::vector<double> ratios;
+    double sums[4] = {};
+    for (const auto &spec : suite) {
+        auto prog = wl::buildProxy(spec, iterations);
+        auto r = runAll(prog, budget);
+        double ratio = r.mips[0] > 0 ? r.mips[3] / r.mips[0] : 0;
+        ratios.push_back(ratio);
+        for (int i = 0; i < 4; ++i)
+            sums[i] += r.mips[i];
+        std::printf("%-18s %9.1f %9.1f %9.1f %9.1f %8.2fx\n",
+                    spec.name, r.mips[0], r.mips[1], r.mips[2],
+                    r.mips[3], ratio);
+    }
+    hr();
+    unsigned n = static_cast<unsigned>(suite.size());
+    std::printf("%-18s %9.1f %9.1f %9.1f %9.1f %8.2fx\n", "average",
+                sums[0] / n, sums[1] / n, sums[2] / n, sums[3] / n,
+                geomean(ratios));
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bool fast = fastMode();
+    InstCount budget = fast ? 300'000 : 5'000'000;
+    uint64_t iterations = 1'000'000; // bounded by the budget anyway
+
+    std::printf("=== Figure 8: interpreter performance (MIPS) ===\n");
+    std::printf("(instruction budget per run: %llu; paper shape: NEMU "
+                ">> Spike > Dromajo > QEMU-TCI,\n NEMU/Spike ~5.2x int "
+                "and ~7.7x fp)\n\n",
+                static_cast<unsigned long long>(budget));
+
+    auto intSuite = wl::specIntSuite();
+    auto fpSuite = wl::specFpSuite();
+    if (fast) {
+        intSuite.resize(3);
+        fpSuite.resize(3);
+    }
+    runSuite("SPECint 2006 proxies:", intSuite, budget, iterations);
+    runSuite("SPECfp 2006 proxies:", fpSuite, budget, iterations);
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 9 + Section III-D3: the architectural checkpoint flow.
+ *
+ * Demonstrates and measures: checkpoint generation speed with NEMU
+ * (paper: >300 MIPS; CoreMark-PRO checkpoints), restore into the
+ * XIANGSHAN cycle model, and resume-equivalence of the format.
+ */
+
+#include "bench_util.h"
+
+#include "checkpoint/generator.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+
+using namespace bench;
+using namespace minjie;
+using namespace minjie::checkpoint;
+
+int
+main()
+{
+    bool fast = fastMode();
+    uint64_t iters = fast ? 300 : 5000;
+
+    std::printf("=== Figure 9 / Section III-D3: RISC-V architectural "
+                "checkpoints ===\n\n");
+
+    // CoreMark(-PRO) stand-in, as in the paper's artifact.
+    auto prog = wl::coremarkProxy(iters);
+    auto gen = generateCheckpoints(prog, fast ? 20'000 : 200'000, 8,
+                                   200'000'000);
+
+    std::printf("workload: %s (%llu instructions)\n", prog.name.c_str(),
+                static_cast<unsigned long long>(gen.totalInsts));
+    std::printf("checkpoints generated: %zu (paper artifact: 8)\n",
+                gen.checkpoints.size());
+    std::printf("BBV profiling speed:   %7.1f MIPS (instrumented "
+                "interpreter)\n",
+                gen.profileMips);
+    std::printf("generation speed:      %7.1f MIPS (paper: >300 MIPS)\n",
+                gen.generateMips);
+
+    std::printf("\n%-6s %14s %10s %12s\n", "ckpt", "inst offset",
+                "weight", "image bytes");
+    hr('-', 48);
+    for (size_t i = 0; i < gen.checkpoints.size(); ++i) {
+        const auto &cp = gen.checkpoints[i];
+        std::printf("%-6zu %14llu %9.1f%% %12zu\n", i,
+                    static_cast<unsigned long long>(cp.instCount),
+                    cp.weight * 100.0, cp.bytes.size());
+    }
+
+    // Restore-and-run on XIANGSHAN (the "XIANGSHAN is able to restore
+    // and run the generated RISC-V checkpoint" artifact step).
+    std::printf("\nrestoring checkpoint 0 into the XIANGSHAN cycle "
+                "model...\n");
+    xs::Soc soc(xs::CoreConfig::nh());
+    if (!gen.checkpoints.empty() &&
+        restore(gen.checkpoints[0], soc.core(0).oracleState(),
+                soc.system().dram)) {
+        auto r = soc.runUntilInstrs(fast ? 5'000 : 50'000, 100'000'000);
+        std::printf("ran %llu instructions in %llu cycles (ipc %.3f): "
+                    "%s\n",
+                    static_cast<unsigned long long>(
+                        soc.core(0).perf().instrs),
+                    static_cast<unsigned long long>(
+                        soc.core(0).perf().cycles),
+                    soc.core(0).perf().ipc(),
+                    r.completed ? "OK" : "FAILED");
+    } else {
+        std::printf("restore FAILED\n");
+        return 1;
+    }
+    return 0;
+}

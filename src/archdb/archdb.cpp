@@ -1,0 +1,136 @@
+#include "archdb/archdb.h"
+
+#include <sstream>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+
+namespace minjie::archdb {
+
+int
+Table::columnIndex(const std::string &col) const
+{
+    for (size_t i = 0; i < columns_.size(); ++i)
+        if (columns_[i] == col)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<Row>
+Table::selectEq(const std::string &col, const Value &v) const
+{
+    std::vector<Row> out;
+    int idx = columnIndex(col);
+    if (idx < 0)
+        return out;
+    for (const auto &r : rows_)
+        if (r[static_cast<size_t>(idx)] == v)
+            out.push_back(r);
+    return out;
+}
+
+std::map<std::string, uint64_t>
+Table::histogram(const std::string &col) const
+{
+    std::map<std::string, uint64_t> h;
+    int idx = columnIndex(col);
+    if (idx < 0)
+        return h;
+    for (const auto &r : rows_) {
+        const Value &v = r[static_cast<size_t>(idx)];
+        if (v.kind == Value::Kind::Str) {
+            ++h[v.str];
+        } else {
+            ++h[std::to_string(v.num)];
+        }
+    }
+    return h;
+}
+
+ArchDB::ArchDB()
+{
+    // Tables generated from the probe definitions (one column per
+    // probe field, as the paper's auto-generation does).
+    tables_.emplace("commits",
+                    Table("commits",
+                          {"cycle", "hart", "pc", "inst", "disasm", "rd",
+                           "rd_written", "rd_value", "is_load",
+                           "is_store", "mem_paddr", "mem_data", "trap",
+                           "trap_cause"}));
+    tables_.emplace("stores", Table("stores", {"cycle", "hart", "paddr",
+                                               "data", "size"}));
+    tables_.emplace(
+        "transactions",
+        Table("transactions", {"cycle", "kind", "cache", "line"}));
+}
+
+void
+ArchDB::recordCommit(const difftest::CommitProbe &p, Cycle at)
+{
+    auto di = isa::decode(p.inst);
+    tables_["commits"].insert({Value(at), Value(uint64_t(p.hart)),
+                               Value(p.pc), Value(uint64_t(p.inst)),
+                               Value(isa::disasm(di)),
+                               Value(uint64_t(p.rd)),
+                               Value(uint64_t(p.rdWritten)),
+                               Value(p.rdValue),
+                               Value(uint64_t(p.isLoad)),
+                               Value(uint64_t(p.isStore)),
+                               Value(p.memPaddr), Value(p.memData),
+                               Value(uint64_t(p.trap)),
+                               Value(p.trapCause)});
+}
+
+void
+ArchDB::recordStore(const difftest::StoreProbe &p, Cycle at)
+{
+    tables_["stores"].insert({Value(at), Value(uint64_t(p.hart)),
+                              Value(p.paddr), Value(p.data),
+                              Value(uint64_t(p.size))});
+}
+
+void
+ArchDB::recordTransaction(const uarch::Transaction &txn)
+{
+    tables_["transactions"].insert({Value(txn.at),
+                                    Value(uarch::txnKindName(txn.kind)),
+                                    Value(txn.cacheName),
+                                    Value(txn.line)});
+}
+
+Table &
+ArchDB::table(const std::string &name, std::vector<std::string> columns)
+{
+    auto it = tables_.find(name);
+    if (it == tables_.end())
+        it = tables_.emplace(name, Table(name, std::move(columns))).first;
+    return it->second;
+}
+
+size_t
+ArchDB::totalRows() const
+{
+    size_t n = 0;
+    for (const auto &[name, t] : tables_)
+        n += t.size();
+    return n;
+}
+
+std::string
+ArchDB::report() const
+{
+    std::ostringstream os;
+    os << "ArchDB: " << tables_.size() << " tables, " << totalRows()
+       << " rows\n";
+    for (const auto &[name, t] : tables_) {
+        os << "  " << name << ": " << t.size() << " rows\n";
+        if (name == "transactions" && t.size()) {
+            for (const auto &[kind, count] :
+                 t.histogram("kind"))
+                os << "    " << kind << ": " << count << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace minjie::archdb

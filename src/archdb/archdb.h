@@ -1,0 +1,139 @@
+/**
+ * @file
+ * ArchDB: the probe-driven event database (paper Section III-B3).
+ *
+ * The paper's ArchDB is an SQLite database whose tables are generated
+ * automatically from probe definitions and used to filter and visualize
+ * events (e.g. the L2/L3 Acquire/Probe overlap in the Section IV-C bug
+ * hunt). This build environment has no SQLite, so ArchDB is an
+ * in-memory relational store with the same shape: schema-from-probe
+ * table creation, insertion from probe objects, predicate queries, and
+ * simple aggregation for debugging.
+ */
+
+#ifndef MINJIE_ARCHDB_ARCHDB_H
+#define MINJIE_ARCHDB_ARCHDB_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "difftest/probes.h"
+#include "uarch/cache.h"
+
+namespace minjie::archdb {
+
+/** One cell: all probe fields are integral; strings cover names. */
+struct Value
+{
+    enum class Kind : uint8_t { Int, Str } kind = Kind::Int;
+    uint64_t num = 0;
+    std::string str;
+
+    Value() = default;
+    Value(uint64_t v) : kind(Kind::Int), num(v) {}
+    Value(int v) : kind(Kind::Int), num(static_cast<uint64_t>(v)) {}
+    Value(const char *s) : kind(Kind::Str), str(s) {}
+    Value(std::string s) : kind(Kind::Str), str(std::move(s)) {}
+
+    bool
+    operator==(const Value &o) const
+    {
+        return kind == o.kind &&
+               (kind == Kind::Int ? num == o.num : str == o.str);
+    }
+};
+
+using Row = std::vector<Value>;
+
+/** A typed table with named columns. */
+class Table
+{
+  public:
+    Table() = default;
+    Table(std::string name, std::vector<std::string> columns)
+        : name_(std::move(name)), columns_(std::move(columns))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::string> &columns() const { return columns_; }
+    size_t size() const { return rows_.size(); }
+
+    void
+    insert(Row row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    int columnIndex(const std::string &col) const;
+
+    /** All rows where @p col equals @p v. */
+    std::vector<Row> selectEq(const std::string &col,
+                              const Value &v) const;
+
+    /** All rows matching an arbitrary predicate. */
+    std::vector<Row>
+    selectWhere(const std::function<bool(const Row &)> &pred) const
+    {
+        std::vector<Row> out;
+        for (const auto &r : rows_)
+            if (pred(r))
+                out.push_back(r);
+        return out;
+    }
+
+    /** Count of rows grouped by the values of @p col. */
+    std::map<std::string, uint64_t> histogram(const std::string &col)
+        const;
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+  private:
+    std::string name_;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+/**
+ * The database: tables auto-created from the probe types, plus
+ * user-defined tables for custom probes.
+ */
+class ArchDB
+{
+  public:
+    ArchDB();
+
+    /** Record a commit probe (table "commits"). */
+    void recordCommit(const difftest::CommitProbe &probe, Cycle at);
+
+    /** Record a store probe (table "stores"). */
+    void recordStore(const difftest::StoreProbe &probe, Cycle at);
+
+    /** Record a cache transaction (table "transactions"). */
+    void recordTransaction(const uarch::Transaction &txn);
+
+    /** Create (or fetch) a user table. */
+    Table &table(const std::string &name,
+                 std::vector<std::string> columns = {});
+
+    bool hasTable(const std::string &name) const
+    {
+        return tables_.count(name) != 0;
+    }
+
+    /** Total rows across all tables. */
+    size_t totalRows() const;
+
+    /** Render a compact textual report (the "visualization"). */
+    std::string report() const;
+
+  private:
+    std::map<std::string, Table> tables_;
+};
+
+} // namespace minjie::archdb
+
+#endif // MINJIE_ARCHDB_ARCHDB_H

@@ -1,0 +1,131 @@
+#include "checkpoint/checkpoint.h"
+
+#include <cstring>
+
+namespace minjie::checkpoint {
+
+namespace {
+
+constexpr uint64_t MAGIC = 0x4d4a434b50543031ULL; // "MJCKPT01"
+
+void
+put64(std::vector<uint8_t> &v, uint64_t x)
+{
+    size_t off = v.size();
+    v.resize(off + 8);
+    std::memcpy(v.data() + off, &x, 8);
+}
+
+uint64_t
+get64(const std::vector<uint8_t> &v, size_t &off)
+{
+    uint64_t x = 0;
+    if (off + 8 <= v.size()) {
+        std::memcpy(&x, v.data() + off, 8);
+        off += 8;
+    }
+    return x;
+}
+
+} // namespace
+
+Checkpoint
+serialize(const iss::ArchState &st, const mem::PhysMem &mem,
+          uint64_t instCount)
+{
+    Checkpoint cp;
+    cp.instCount = instCount;
+    auto &v = cp.bytes;
+
+    put64(v, MAGIC);
+    put64(v, st.pc);
+    for (auto r : st.x)
+        put64(v, r);
+    for (auto r : st.f)
+        put64(v, r);
+    put64(v, static_cast<uint64_t>(st.priv));
+    put64(v, st.resValid ? 1 : 0);
+    put64(v, st.resAddr);
+    put64(v, st.instret);
+
+    // CSR block (Figure 9: the restorable machine/supervisor subset).
+    const auto &c = st.csr;
+    const uint64_t csrs[] = {
+        c.mstatus, c.misa, c.medeleg, c.mideleg, c.mie, c.mtvec,
+        c.mcounteren, c.mscratch, c.mepc, c.mcause, c.mtval, c.mip,
+        c.mcycle, c.minstret, c.mhartid, c.stvec, c.scounteren,
+        c.sscratch, c.sepc, c.scause, c.stval, c.satp, c.pmpcfg0,
+        c.pmpaddr0, static_cast<uint64_t>(c.fflags),
+        static_cast<uint64_t>(c.frm),
+    };
+    put64(v, std::size(csrs));
+    for (auto x : csrs)
+        put64(v, x);
+
+    // Memory image: {count, {base, 4096 bytes}*}, zero pages skipped.
+    size_t countOff = v.size();
+    put64(v, 0);
+    uint64_t pages = 0;
+    mem.forEachPage([&](Addr base, const uint8_t *data) {
+        bool zero = true;
+        for (unsigned i = 0; i < mem::PhysMem::PAGE_SIZE && zero; ++i)
+            zero = data[i] == 0;
+        if (zero)
+            return;
+        put64(v, base);
+        size_t off = v.size();
+        v.resize(off + mem::PhysMem::PAGE_SIZE);
+        std::memcpy(v.data() + off, data, mem::PhysMem::PAGE_SIZE);
+        ++pages;
+    });
+    std::memcpy(v.data() + countOff, &pages, 8);
+    return cp;
+}
+
+bool
+restore(const Checkpoint &cp, iss::ArchState &st, mem::PhysMem &mem)
+{
+    const auto &v = cp.bytes;
+    size_t off = 0;
+    if (get64(v, off) != MAGIC)
+        return false;
+
+    st.pc = get64(v, off);
+    for (auto &r : st.x)
+        r = get64(v, off);
+    for (auto &r : st.f)
+        r = get64(v, off);
+    st.priv = static_cast<isa::Priv>(get64(v, off));
+    st.resValid = get64(v, off) != 0;
+    st.resAddr = get64(v, off);
+    st.instret = get64(v, off);
+
+    uint64_t nCsrs = get64(v, off);
+    if (nCsrs != 26)
+        return false;
+    auto &c = st.csr;
+    uint64_t *dst[] = {
+        &c.mstatus, &c.misa, &c.medeleg, &c.mideleg, &c.mie, &c.mtvec,
+        &c.mcounteren, &c.mscratch, &c.mepc, &c.mcause, &c.mtval, &c.mip,
+        &c.mcycle, &c.minstret, &c.mhartid, &c.stvec, &c.scounteren,
+        &c.sscratch, &c.sepc, &c.scause, &c.stval, &c.satp, &c.pmpcfg0,
+        &c.pmpaddr0,
+    };
+    for (auto *d : dst)
+        *d = get64(v, off);
+    c.fflags = static_cast<uint8_t>(get64(v, off));
+    c.frm = static_cast<uint8_t>(get64(v, off));
+
+    mem.clear();
+    uint64_t pages = get64(v, off);
+    for (uint64_t p = 0; p < pages; ++p) {
+        Addr base = get64(v, off);
+        if (off + mem::PhysMem::PAGE_SIZE > v.size())
+            return false;
+        mem.load(base, v.data() + off, mem::PhysMem::PAGE_SIZE);
+        off += mem::PhysMem::PAGE_SIZE;
+    }
+    return true;
+}
+
+} // namespace minjie::checkpoint

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * RISC-V architectural checkpoint format (paper Figure 9).
+ *
+ * A checkpoint captures exactly the architectural state plus the memory
+ * image, and restores with no dependence on the RISC-V debug mode —
+ * the property the paper highlights against Dromajo's format, enabling
+ * early-stage processors to run checkpoints. Our restore path writes
+ * the state directly into a simulator; a hardware bring-up path would
+ * lower the same content to the basic RV64 privileged instructions of
+ * Figure 9 (csrw/li sequences + memory preload).
+ */
+
+#ifndef MINJIE_CHECKPOINT_CHECKPOINT_H
+#define MINJIE_CHECKPOINT_CHECKPOINT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "iss/arch_state.h"
+#include "mem/physmem.h"
+
+namespace minjie::checkpoint {
+
+/** One serialized checkpoint. */
+struct Checkpoint
+{
+    std::vector<uint8_t> bytes;
+
+    /** Instructions executed before this checkpoint was taken. */
+    uint64_t instCount = 0;
+    /** SimPoint weight (fraction of execution it represents). */
+    double weight = 1.0;
+
+    bool valid() const { return !bytes.empty(); }
+};
+
+/** Serialize @p state and every allocated page of @p mem. */
+Checkpoint serialize(const iss::ArchState &state,
+                     const mem::PhysMem &mem, uint64_t instCount = 0);
+
+/**
+ * Restore @p cp into @p state / @p mem.
+ * @return false on a malformed image.
+ */
+bool restore(const Checkpoint &cp, iss::ArchState &state,
+             mem::PhysMem &mem);
+
+} // namespace minjie::checkpoint
+
+#endif // MINJIE_CHECKPOINT_CHECKPOINT_H

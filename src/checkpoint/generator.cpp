@@ -1,0 +1,71 @@
+#include "checkpoint/generator.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+
+namespace minjie::checkpoint {
+
+GenResult
+generateCheckpoints(const workload::Program &prog,
+                    InstCount intervalInsts, unsigned maxK,
+                    InstCount maxInsts)
+{
+    GenResult out;
+
+    // ---- pass 1: profile with BBV collection (step-path NEMU) ----
+    BbvCollector bbv(intervalInsts);
+    {
+        iss::System sys(256);
+        prog.loadInto(sys.dram);
+        nemu::Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+        nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+        nemu.setBlockHook(
+            [&](Addr pc, uint32_t len) { bbv.onBlock(pc, len); });
+
+        Stopwatch sw;
+        auto r = nemu.Interp::run(maxInsts);
+        bbv.finish();
+        out.totalInsts = r.executed;
+        double sec = sw.elapsedSec();
+        out.profileMips = sec > 0 ? r.executed / sec / 1e6 : 0;
+    }
+
+    // ---- SimPoint clustering ----
+    out.simpoints = simpoint(bbv.intervals(), maxK);
+
+    // ---- pass 2: re-run fast and snapshot at interval boundaries ----
+    std::vector<std::pair<InstCount, size_t>> boundaries;
+    for (size_t i = 0; i < out.simpoints.intervals.size(); ++i) {
+        boundaries.push_back(
+            {static_cast<InstCount>(out.simpoints.intervals[i]) *
+                 intervalInsts,
+             i});
+    }
+    std::sort(boundaries.begin(), boundaries.end());
+
+    out.checkpoints.resize(out.simpoints.intervals.size());
+    iss::System sys(256);
+    prog.loadInto(sys.dram);
+    nemu::Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+
+    Stopwatch sw;
+    InstCount executed = 0;
+    for (const auto &[target, cpIdx] : boundaries) {
+        if (target > executed) {
+            auto r = nemu.run(target - executed);
+            executed += r.executed;
+        }
+        Checkpoint cp = serialize(nemu.state(), sys.dram, executed);
+        cp.weight = out.simpoints.weights[cpIdx];
+        out.checkpoints[cpIdx] = std::move(cp);
+    }
+    double sec = sw.elapsedSec();
+    out.generateMips = sec > 0 ? executed / sec / 1e6 : 0;
+    return out;
+}
+
+} // namespace minjie::checkpoint

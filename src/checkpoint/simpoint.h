@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SimPoint-style interval selection (paper Section III-D3).
+ *
+ * Basic-block vectors are collected inside the interpreter (one counter
+ * per basic block per interval — "it is easy to compute the Basic Block
+ * Vector in NEMU"), projected to a low dimension, and clustered with
+ * k-means. Each cluster's most central interval becomes a checkpoint
+ * whose weight is the cluster's share of execution.
+ */
+
+#ifndef MINJIE_CHECKPOINT_SIMPOINT_H
+#define MINJIE_CHECKPOINT_SIMPOINT_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace minjie::checkpoint {
+
+/** One interval's basic-block execution profile. */
+using Bbv = std::unordered_map<Addr, uint64_t>;
+
+/** Collects BBVs from an interpreter block hook. */
+class BbvCollector
+{
+  public:
+    /** @param intervalInsts instructions per interval */
+    explicit BbvCollector(InstCount intervalInsts = 1'000'000)
+        : intervalInsts_(intervalInsts)
+    {
+    }
+
+    /** Feed one executed basic block (hook into Nemu::setBlockHook). */
+    void
+    onBlock(Addr startPc, uint32_t length)
+    {
+        current_[startPc] += length;
+        executed_ += length;
+        if (executed_ >= intervalInsts_) {
+            intervals_.push_back(std::move(current_));
+            current_.clear();
+            executed_ = 0;
+        }
+    }
+
+    /** Close the trailing partial interval (call at end of profiling). */
+    void
+    finish()
+    {
+        if (!current_.empty()) {
+            intervals_.push_back(std::move(current_));
+            current_.clear();
+            executed_ = 0;
+        }
+    }
+
+    const std::vector<Bbv> &intervals() const { return intervals_; }
+    InstCount intervalInsts() const { return intervalInsts_; }
+
+  private:
+    InstCount intervalInsts_;
+    Bbv current_;
+    InstCount executed_ = 0;
+    std::vector<Bbv> intervals_;
+};
+
+/** Result of clustering: the selected intervals and their weights. */
+struct SimPoints
+{
+    std::vector<unsigned> intervals; ///< representative interval indices
+    std::vector<double> weights;     ///< cluster sizes / total
+    std::vector<unsigned> assignment;///< interval -> cluster
+};
+
+/**
+ * Cluster @p bbvs into at most @p maxK phases.
+ *
+ * @param dims   random-projection dimensionality (SimPoint uses 15)
+ * @param seed   deterministic seed for projection and seeding
+ */
+SimPoints simpoint(const std::vector<Bbv> &bbvs, unsigned maxK,
+                   unsigned dims = 15, uint64_t seed = 1);
+
+/** Weighted-CPI performance estimate over measured checkpoints. */
+inline double
+weightedCpi(const std::vector<double> &cpis,
+            const std::vector<double> &weights)
+{
+    double sum = 0, wsum = 0;
+    for (size_t i = 0; i < cpis.size(); ++i) {
+        sum += cpis[i] * weights[i];
+        wsum += weights[i];
+    }
+    return wsum > 0 ? sum / wsum : 0.0;
+}
+
+} // namespace minjie::checkpoint
+
+#endif // MINJIE_CHECKPOINT_SIMPOINT_H

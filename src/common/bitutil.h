@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bit-manipulation helpers used across the decoder, MMU, predictors and
+ * cache models.
+ */
+
+#ifndef MINJIE_COMMON_BITUTIL_H
+#define MINJIE_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace minjie {
+
+/** Extract bits [hi:lo] of @p val (inclusive, hi >= lo). */
+constexpr uint64_t
+bits(uint64_t val, unsigned hi, unsigned lo)
+{
+    assert(hi >= lo && hi < 64);
+    uint64_t mask = (hi - lo == 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1);
+    return (val >> lo) & mask;
+}
+
+/** Extract a single bit of @p val. */
+constexpr uint64_t
+bit(uint64_t val, unsigned pos)
+{
+    return (val >> pos) & 1;
+}
+
+/** Sign-extend the low @p width bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    if (width == 64)
+        return static_cast<int64_t>(val);
+    uint64_t sign = 1ULL << (width - 1);
+    return static_cast<int64_t>(((val & ((1ULL << width) - 1)) ^ sign) - sign);
+}
+
+/** Zero-extend the low @p width bits of @p val. */
+constexpr uint64_t
+zext(uint64_t val, unsigned width)
+{
+    assert(width > 0 && width <= 64);
+    if (width == 64)
+        return val;
+    return val & ((1ULL << width) - 1);
+}
+
+/** True if @p val is a power of two (and nonzero). */
+constexpr bool
+isPow2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2i(uint64_t val)
+{
+    assert(isPow2(val));
+    return static_cast<unsigned>(std::countr_zero(val));
+}
+
+/** Align @p addr down to a multiple of the power-of-two @p align. */
+constexpr uint64_t
+alignDown(uint64_t addr, uint64_t align)
+{
+    assert(isPow2(align));
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of the power-of-two @p align. */
+constexpr uint64_t
+alignUp(uint64_t addr, uint64_t align)
+{
+    assert(isPow2(align));
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Insert bits [hi:lo] of @p field into @p base. */
+constexpr uint64_t
+insertBits(uint64_t base, unsigned hi, unsigned lo, uint64_t field)
+{
+    assert(hi >= lo && hi < 64);
+    uint64_t mask = (hi - lo == 63) ? ~0ULL : ((1ULL << (hi - lo + 1)) - 1);
+    return (base & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+} // namespace minjie
+
+#endif // MINJIE_COMMON_BITUTIL_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the LightSSS / interpreter benchmarks.
+ */
+
+#ifndef MINJIE_COMMON_CLOCK_H
+#define MINJIE_COMMON_CLOCK_H
+
+#include <cstdint>
+
+namespace minjie {
+
+/** Monotonic wall-clock stopwatch with microsecond resolution. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    /** Restart timing from now. */
+    void reset();
+
+    /** Microseconds elapsed since the last reset. */
+    uint64_t elapsedUs() const;
+
+    /** Seconds elapsed since the last reset. */
+    double elapsedSec() const;
+
+  private:
+    uint64_t startNs_ = 0;
+};
+
+/** Current monotonic time in nanoseconds. */
+uint64_t monotonicNs();
+
+} // namespace minjie
+
+#endif // MINJIE_COMMON_CLOCK_H

@@ -1,0 +1,62 @@
+#include "common/log.h"
+
+#include <cstdlib>
+
+namespace minjie {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::setOutputFile(const std::string &path)
+{
+    if (out_ && out_ != stderr)
+        std::fclose(out_);
+    out_ = path.empty() ? nullptr : std::fopen(path.c_str(), "w");
+}
+
+void
+Logger::log(LogLevel level, const char *fmt, ...)
+{
+    if (level < level_)
+        return;
+    static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    FILE *out = out_ ? out_ : stderr;
+    std::fprintf(out, "[%s] ", names[static_cast<int>(level)]);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(out, fmt, args);
+    va_end(args);
+    std::fputc('\n', out);
+    ++lines_;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+} // namespace minjie

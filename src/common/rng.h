@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic behaviour in the repository (random program generation,
+ * workload data, fuzz co-simulation) flows through Xoshiro so runs are
+ * reproducible from a seed.
+ */
+
+#ifndef MINJIE_COMMON_RNG_H
+#define MINJIE_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace minjie {
+
+/** xoshiro256** by Blackman & Vigna; small, fast, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x2022'0714'd00d'f00dULL) { reseed(seed); }
+
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 expansion of the seed into the full state.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    uint64_t below(uint64_t bound) { return next() % bound; }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability @p percent / 100. */
+    bool chance(unsigned percent) { return below(100) < percent; }
+
+    double real01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  private:
+    uint64_t state_[4];
+};
+
+} // namespace minjie
+
+#endif // MINJIE_COMMON_RNG_H

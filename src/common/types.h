@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared by every module.
+ */
+
+#ifndef MINJIE_COMMON_TYPES_H
+#define MINJIE_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace minjie {
+
+/** Guest physical / virtual address. */
+using Addr = uint64_t;
+
+/** Simulated cycle count. */
+using Cycle = uint64_t;
+
+/** Retired-instruction count. */
+using InstCount = uint64_t;
+
+/** Hardware thread (core) identifier. */
+using HartId = uint32_t;
+
+/** A 64-bit architectural register value. */
+using RegVal = uint64_t;
+
+} // namespace minjie
+
+#endif // MINJIE_COMMON_TYPES_H

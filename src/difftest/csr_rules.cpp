@@ -1,0 +1,279 @@
+#include "difftest/csr_rules.h"
+
+#include <cstdio>
+
+#include "isa/csr.h"
+
+namespace minjie::difftest {
+
+using namespace minjie::isa;
+
+namespace {
+
+constexpr uint64_t ALL = ~0ULL;
+
+std::vector<CsrFieldRule>
+buildRules()
+{
+    std::vector<CsrFieldRule> r;
+    auto add = [&](const char *csr, const char *field, uint64_t mask,
+                   CsrPolicy pol, uint64_t CsrProbe::*m) {
+        r.push_back({csr, field, mask, pol, m});
+    };
+
+    // ---- mstatus: field-by-field (the privileged spec's WARL/WPRI
+    // structure maps onto per-field rules) ----
+    auto M = &CsrProbe::mstatus;
+    add("mstatus", "SIE", MSTATUS_SIE, CsrPolicy::Exact, M);
+    add("mstatus", "MIE", MSTATUS_MIE, CsrPolicy::Exact, M);
+    add("mstatus", "SPIE", MSTATUS_SPIE, CsrPolicy::Exact, M);
+    add("mstatus", "MPIE", MSTATUS_MPIE, CsrPolicy::Exact, M);
+    add("mstatus", "SPP", MSTATUS_SPP, CsrPolicy::Exact, M);
+    add("mstatus", "MPP", MSTATUS_MPP, CsrPolicy::Exact, M);
+    add("mstatus", "FS", MSTATUS_FS, CsrPolicy::Exact, M);
+    add("mstatus", "XS", 3ULL << 15, CsrPolicy::Ignore, M);
+    add("mstatus", "MPRV", MSTATUS_MPRV, CsrPolicy::Exact, M);
+    add("mstatus", "SUM", MSTATUS_SUM, CsrPolicy::Exact, M);
+    add("mstatus", "MXR", MSTATUS_MXR, CsrPolicy::Exact, M);
+    add("mstatus", "TVM", MSTATUS_TVM, CsrPolicy::Exact, M);
+    add("mstatus", "TW", MSTATUS_TW, CsrPolicy::Exact, M);
+    add("mstatus", "TSR", MSTATUS_TSR, CsrPolicy::Exact, M);
+    add("mstatus", "UXL", MSTATUS_UXL, CsrPolicy::Exact, M);
+    add("mstatus", "SXL", MSTATUS_SXL, CsrPolicy::Exact, M);
+    add("mstatus", "SD", MSTATUS_SD, CsrPolicy::Exact, M);
+    add("mstatus", "WPRI", ~(MSTATUS_SIE | MSTATUS_MIE | MSTATUS_SPIE |
+                             MSTATUS_MPIE | MSTATUS_SPP | MSTATUS_MPP |
+                             MSTATUS_FS | (3ULL << 15) | MSTATUS_MPRV |
+                             MSTATUS_SUM | MSTATUS_MXR | MSTATUS_TVM |
+                             MSTATUS_TW | MSTATUS_TSR | MSTATUS_UXL |
+                             MSTATUS_SXL | MSTATUS_SD),
+        CsrPolicy::Ignore, M);
+
+    // ---- trap plumbing ----
+    add("mepc", "value", ALL, CsrPolicy::Exact, &CsrProbe::mepc);
+    add("mcause", "value", ALL, CsrPolicy::Exact, &CsrProbe::mcause);
+    add("mtval", "value", ALL, CsrPolicy::Exact, &CsrProbe::mtval);
+    add("mtvec", "base", ~3ULL, CsrPolicy::Exact, &CsrProbe::mtvec);
+    add("mtvec", "mode", 3ULL, CsrPolicy::Exact, &CsrProbe::mtvec);
+    add("mscratch", "value", ALL, CsrPolicy::Exact, &CsrProbe::mscratch);
+    add("sepc", "value", ALL, CsrPolicy::Exact, &CsrProbe::sepc);
+    add("scause", "value", ALL, CsrPolicy::Exact, &CsrProbe::scause);
+    add("stval", "value", ALL, CsrPolicy::Exact, &CsrProbe::stval);
+    add("stvec", "base", ~3ULL, CsrPolicy::Exact, &CsrProbe::stvec);
+    add("stvec", "mode", 3ULL, CsrPolicy::Exact, &CsrProbe::stvec);
+    add("sscratch", "value", ALL, CsrPolicy::Exact, &CsrProbe::sscratch);
+
+    // ---- interrupt enables: per-bit ----
+    auto MIE_ = &CsrProbe::mie;
+    add("mie", "SSIE", MIP_SSIP, CsrPolicy::Exact, MIE_);
+    add("mie", "MSIE", MIP_MSIP, CsrPolicy::Exact, MIE_);
+    add("mie", "STIE", MIP_STIP, CsrPolicy::Exact, MIE_);
+    add("mie", "MTIE", MIP_MTIP, CsrPolicy::Exact, MIE_);
+    add("mie", "SEIE", MIP_SEIP, CsrPolicy::Exact, MIE_);
+    add("mie", "MEIE", MIP_MEIP, CsrPolicy::Exact, MIE_);
+    add("mie", "reserved", ~(MIP_SSIP | MIP_MSIP | MIP_STIP | MIP_MTIP |
+                             MIP_SEIP | MIP_MEIP),
+        CsrPolicy::Ignore, MIE_);
+
+    // ---- mip: pending bits driven by devices/timers are inherently
+    // micro-architecture/timing dependent -> trust the DUT ----
+    auto MIP_ = &CsrProbe::mip;
+    add("mip", "SSIP", MIP_SSIP, CsrPolicy::Exact, MIP_);
+    add("mip", "MSIP", MIP_MSIP, CsrPolicy::TrustDut, MIP_);
+    add("mip", "STIP", MIP_STIP, CsrPolicy::TrustDut, MIP_);
+    add("mip", "MTIP", MIP_MTIP, CsrPolicy::TrustDut, MIP_);
+    add("mip", "SEIP", MIP_SEIP, CsrPolicy::TrustDut, MIP_);
+    add("mip", "MEIP", MIP_MEIP, CsrPolicy::TrustDut, MIP_);
+
+    // ---- delegation: one rule per delegable exception cause ----
+    static const char *causes[] = {
+        "inst-misaligned", "inst-access", "illegal-inst", "breakpoint",
+        "load-misaligned", "load-access", "store-misaligned",
+        "store-access", "ecall-u", "ecall-s", "reserved10", "ecall-m",
+        "inst-pf", "load-pf", "reserved14", "store-pf"};
+    for (unsigned b = 0; b < 16; ++b)
+        add("medeleg", causes[b], 1ULL << b, CsrPolicy::Exact,
+            &CsrProbe::medeleg);
+    add("mideleg", "SSI", MIP_SSIP, CsrPolicy::Exact, &CsrProbe::mideleg);
+    add("mideleg", "STI", MIP_STIP, CsrPolicy::Exact, &CsrProbe::mideleg);
+    add("mideleg", "SEI", MIP_SEIP, CsrPolicy::Exact, &CsrProbe::mideleg);
+
+    // ---- satp ----
+    add("satp", "mode", 0xfULL << SATP_MODE_SHIFT, CsrPolicy::Exact,
+        &CsrProbe::satp);
+    add("satp", "asid", 0xffffULL << 44, CsrPolicy::Ignore,
+        &CsrProbe::satp);
+    add("satp", "ppn", SATP_PPN_MASK, CsrPolicy::Exact, &CsrProbe::satp);
+
+    // ---- counters: cycle counts are micro-architectural by
+    // definition; instret must match ----
+    add("mcycle", "value", ALL, CsrPolicy::TrustDut, &CsrProbe::mcycle);
+    add("minstret", "value", ALL, CsrPolicy::Exact, &CsrProbe::minstret);
+
+    // ---- fp state: per-flag rules are evaluated in checkCsrs() over
+    // the narrow fflags/frm bytes; the table records them through the
+    // five flag rules plus frm and priv appended below ----
+
+    // ---- identification CSRs ----
+    add("misa", "value", ALL, CsrPolicy::Exact, &CsrProbe::misa);
+    add("mvendorid", "value", ALL, CsrPolicy::Exact,
+        &CsrProbe::mvendorid);
+    add("marchid", "value", ALL, CsrPolicy::Exact, &CsrProbe::marchid);
+    add("mimpid", "value", ALL, CsrPolicy::Exact, &CsrProbe::mimpid);
+    add("mhartid", "value", ALL, CsrPolicy::Exact, &CsrProbe::mhartid);
+
+    // ---- counter-enable / pmp / time ----
+    add("mcounteren", "value", ALL, CsrPolicy::Exact,
+        &CsrProbe::mcounteren);
+    add("scounteren", "value", ALL, CsrPolicy::Exact,
+        &CsrProbe::scounteren);
+    add("pmpcfg0", "value", ALL, CsrPolicy::Ignore, &CsrProbe::pmpcfg0);
+    add("pmpaddr0", "value", ALL, CsrPolicy::Ignore, &CsrProbe::pmpaddr0);
+    add("time", "value", ALL, CsrPolicy::TrustDut, &CsrProbe::timeVal);
+
+    // ---- user-mode counter views ----
+    add("cycle", "value", ALL, CsrPolicy::TrustDut, &CsrProbe::mcycle);
+    add("instret", "value", ALL, CsrPolicy::Exact, &CsrProbe::minstret);
+    // sie/sip are masked views of mie/mip: rule over the delegable bits.
+    add("sie", "view", SIP_MASK, CsrPolicy::Exact, &CsrProbe::mie);
+    add("sip", "ssip-view", MIP_SSIP, CsrPolicy::Exact, &CsrProbe::mip);
+
+    return r;
+}
+
+} // namespace
+
+const std::vector<CsrFieldRule> &
+csrRules()
+{
+    static const std::vector<CsrFieldRule> rules = [] {
+        auto r = buildRules();
+        // hpmcounters/events 3..18: performance-counter reads are
+        // explicitly trusted from the DUT (paper Section III-B2c);
+        // event selectors are implementation-defined and ignored.
+        static const char *cnames[16] = {
+            "hpm3", "hpm4", "hpm5", "hpm6", "hpm7", "hpm8", "hpm9",
+            "hpm10", "hpm11", "hpm12", "hpm13", "hpm14", "hpm15",
+            "hpm16", "hpm17", "hpm18"};
+        for (int i = 0; i < 16; ++i) {
+            r.push_back({"mhpmcounter", cnames[i], ~0ULL,
+                         CsrPolicy::TrustDut, nullptr, i, false});
+            r.push_back({"mhpmevent", cnames[i], ~0ULL, CsrPolicy::Ignore,
+                         nullptr, i, true});
+        }
+        return r;
+    }();
+    return rules;
+}
+
+CsrProbe
+snapshotCsrs(const iss::CsrFile &csr, isa::Priv priv)
+{
+    CsrProbe p;
+    p.mstatus = csr.mstatus;
+    p.mepc = csr.mepc;
+    p.mcause = csr.mcause;
+    p.mtval = csr.mtval;
+    p.mtvec = csr.mtvec;
+    p.mscratch = csr.mscratch;
+    p.mie = csr.mie;
+    p.mip = csr.mip;
+    p.medeleg = csr.medeleg;
+    p.mideleg = csr.mideleg;
+    p.sepc = csr.sepc;
+    p.scause = csr.scause;
+    p.stval = csr.stval;
+    p.stvec = csr.stvec;
+    p.sscratch = csr.sscratch;
+    p.satp = csr.satp;
+    p.mcycle = csr.mcycle;
+    p.minstret = csr.minstret;
+    p.fflags = csr.fflags;
+    p.frm = csr.frm;
+    p.priv = static_cast<uint8_t>(priv);
+    p.misa = csr.misa;
+    p.mvendorid = 0;
+    p.marchid = 25;
+    p.mimpid = 0;
+    p.mhartid = csr.mhartid;
+    p.mcounteren = csr.mcounteren;
+    p.scounteren = csr.scounteren;
+    p.pmpcfg0 = csr.pmpcfg0;
+    p.pmpaddr0 = csr.pmpaddr0;
+    p.timeVal = csr.timeSrc ? *csr.timeSrc : 0;
+    return p;
+}
+
+bool
+checkCsrs(const CsrProbe &dut, iss::CsrFile &ref, isa::Priv &refPriv,
+          std::vector<std::string> &violations)
+{
+    CsrProbe rp = snapshotCsrs(ref, refPriv);
+    bool ok = true;
+    char buf[160];
+
+    for (const auto &rule : csrRules()) {
+        uint64_t dutVal, refVal;
+        if (rule.hpmIdx >= 0) {
+            dutVal = (rule.hpmIsEvent ? dut.hpmevent[rule.hpmIdx]
+                                      : dut.hpmcounter[rule.hpmIdx]) &
+                     rule.mask;
+            refVal = (rule.hpmIsEvent ? rp.hpmevent[rule.hpmIdx]
+                                      : rp.hpmcounter[rule.hpmIdx]) &
+                     rule.mask;
+        } else {
+            dutVal = dut.*(rule.probeMember) & rule.mask;
+            refVal = rp.*(rule.probeMember) & rule.mask;
+        }
+        switch (rule.policy) {
+          case CsrPolicy::Exact:
+            if (dutVal != refVal) {
+                ok = false;
+                std::snprintf(buf, sizeof(buf),
+                              "csr rule %s.%s: dut=0x%llx ref=0x%llx",
+                              rule.csr, rule.field,
+                              static_cast<unsigned long long>(dutVal),
+                              static_cast<unsigned long long>(refVal));
+                violations.push_back(buf);
+            }
+            break;
+          case CsrPolicy::TrustDut:
+            if (rule.hpmIdx < 0)
+                rp.*(rule.probeMember) =
+                    (rp.*(rule.probeMember) & ~rule.mask) | dutVal;
+            break;
+          case CsrPolicy::Ignore:
+            break;
+        }
+    }
+
+    // fflags: five per-flag rules; frm; privilege level.
+    static const char *flagNames[] = {"NX", "UF", "OF", "DZ", "NV"};
+    for (unsigned b = 0; b < 5; ++b) {
+        if (((dut.fflags ^ rp.fflags) >> b) & 1) {
+            ok = false;
+            std::snprintf(buf, sizeof(buf),
+                          "csr rule fflags.%s: dut=%u ref=%u",
+                          flagNames[b], (dut.fflags >> b) & 1,
+                          (rp.fflags >> b) & 1);
+            violations.push_back(buf);
+        }
+    }
+    if (dut.frm != rp.frm) {
+        ok = false;
+        violations.push_back("csr rule frm: mismatch");
+    }
+    if (dut.priv != rp.priv) {
+        ok = false;
+        std::snprintf(buf, sizeof(buf), "csr rule priv: dut=%u ref=%u",
+                      dut.priv, rp.priv);
+        violations.push_back(buf);
+    }
+
+    // Write the TrustDut-merged view back into the REF.
+    ref.mip = rp.mip;
+    ref.mcycle = rp.mcycle;
+    return ok;
+}
+
+} // namespace minjie::difftest

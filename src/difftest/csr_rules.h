@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine/supervisor CSR diff-rules (paper Section III-B2).
+ *
+ * The paper reports devising ~120 rules from the RISC-V privileged
+ * specification, mostly governing which CSR fields must match between
+ * DUT and REF exactly, which may legally diverge (and the REF then
+ * adopts the DUT value), and which only need to agree under a mask.
+ * This table reifies that rule set: one entry per architected field.
+ */
+
+#ifndef MINJIE_DIFFTEST_CSR_RULES_H
+#define MINJIE_DIFFTEST_CSR_RULES_H
+
+#include <string>
+#include <vector>
+
+#include "difftest/probes.h"
+#include "iss/csrfile.h"
+
+namespace minjie::difftest {
+
+/** How a CSR field participates in the equivalence check. */
+enum class CsrPolicy : uint8_t {
+    Exact,    ///< field must match bit-for-bit
+    TrustDut, ///< micro-architecture-dependent: REF adopts DUT value
+    Ignore,   ///< WPRI / unimplemented: never compared
+};
+
+/** One field-granular diff-rule. */
+struct CsrFieldRule
+{
+    const char *csr;    ///< CSR name
+    const char *field;  ///< field name
+    uint64_t mask;      ///< bits covered by this rule
+    CsrPolicy policy;
+    /** Accessor for the field's register in the probe / CSR file. */
+    uint64_t CsrProbe::*probeMember;
+    /** >= 0: rule covers hpmcounter[idx] / hpmevent[idx] instead. */
+    int hpmIdx = -1;
+    bool hpmIsEvent = false;
+};
+
+/** The full rule table (built once; ~120 entries). */
+const std::vector<CsrFieldRule> &csrRules();
+
+/**
+ * Check @p dut (the DUT's committed CSR view) against @p ref.
+ * TrustDut fields are copied into @p ref. On a violated Exact rule the
+ * offending rule is appended to @p violations.
+ * @return true when no rule is violated.
+ */
+bool checkCsrs(const CsrProbe &dut, iss::CsrFile &ref, isa::Priv &refPriv,
+               std::vector<std::string> &violations);
+
+/** Snapshot @p ref into a probe for rule evaluation. */
+CsrProbe snapshotCsrs(const iss::CsrFile &ref, isa::Priv priv);
+
+} // namespace minjie::difftest
+
+#endif // MINJIE_DIFFTEST_CSR_RULES_H

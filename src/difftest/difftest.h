@@ -1,0 +1,146 @@
+/**
+ * @file
+ * DiffTest: the DRAV co-simulation framework (paper Section III-B).
+ *
+ * One REF (a NEMU instance with private memory) per DUT core runs in
+ * lock-step with the DUT's commit stream, synchronized by diff-rules:
+ *
+ *  - MMIO skip rule       — device accesses are trusted from the DUT and
+ *                           replayed into the REF architecturally;
+ *  - page-fault rule      — the DUT may raise a page fault the REF does
+ *                           not observe (speculative/stale TLB, Fig. 3);
+ *                           the REF is forced to take the same trap, and
+ *                           repeated forcing at one pc is rejected;
+ *  - SC-failure rule      — a store-conditional may fail on the DUT for
+ *                           micro-architectural reasons; the REF's
+ *                           reservation is broken so it fails too (with
+ *                           the same repeat guard);
+ *  - interrupt rule       — asynchronous interrupts are taken when the
+ *                           DUT says so (the Dromajo approach);
+ *  - Global-Memory rule   — on a load-value mismatch in multi-core
+ *                           runs, a value another hart provably stored
+ *                           is accepted and patched into the REF;
+ *  - ~120 CSR field rules — see csr_rules.h;
+ *  - permission scoreboard— coherence transactions are checked against
+ *                           the single-writer invariant.
+ *
+ * Rules can be enabled/disabled at runtime ("reconfigure the reference
+ * model on-the-fly", Section III-B1).
+ */
+
+#ifndef MINJIE_DIFFTEST_DIFFTEST_H
+#define MINJIE_DIFFTEST_DIFFTEST_H
+
+#include <memory>
+#include <string>
+
+#include "difftest/csr_rules.h"
+#include "difftest/global_memory.h"
+#include "difftest/scoreboard.h"
+#include "nemu/nemu.h"
+#include "xiangshan/soc.h"
+
+namespace minjie::difftest {
+
+/** Which diff-rules are active. */
+struct RuleConfig
+{
+    bool skipMmio = true;
+    bool pageFault = true;
+    bool scFailure = true;
+    bool forcedInterrupt = true;
+    bool globalMemory = true;   ///< multi-core load-value rule
+    bool csrRules = true;
+    bool scoreboard = true;
+    unsigned maxForcedPerPc = 8; ///< repeat guard (Section III-B2c)
+};
+
+/** Counters of rule applications (visible in reports and tests). */
+struct DiffStats
+{
+    uint64_t commitsChecked = 0;
+    uint64_t mmioSkips = 0;
+    uint64_t forcedPageFaults = 0;
+    uint64_t forcedScFailures = 0;
+    uint64_t forcedInterrupts = 0;
+    uint64_t globalMemoryPatches = 0;
+    uint64_t csrChecks = 0;
+};
+
+class DiffTest
+{
+  public:
+    /**
+     * Attach to @p dut: hooks every core's commit and store probes and
+     * builds one REF per core. The DUT's programs must already be
+     * loaded into its memory; call loadRef() with the same program
+     * data to initialize the REF memories.
+     */
+    explicit DiffTest(xs::Soc &dut, const RuleConfig &rules = {});
+    ~DiffTest();
+
+    /** Copy @p len bytes at @p addr into every REF's memory. */
+    void loadRefMemory(Addr addr, const void *data, size_t len);
+
+    /** Reset every REF to @p entry (mirror of Soc::setEntry). */
+    void resetRefs(Addr entry);
+
+    /** True while no mismatch has been detected. */
+    bool ok() const { return failures_.empty(); }
+
+    /** Human-readable mismatch log (empty when ok). */
+    const std::vector<std::string> &failures() const { return failures_; }
+
+    const DiffStats &stats() const { return stats_; }
+    const PermissionScoreboard &scoreboard() const { return scoreboard_; }
+
+    /** Callback invoked on the first mismatch (LightSSS hooks here). */
+    void setOnMismatch(std::function<void(const std::string &)> fn)
+    {
+        onMismatch_ = std::move(fn);
+    }
+
+    /** Reconfigure the rule set on-the-fly. */
+    RuleConfig &rules() { return rules_; }
+
+    /**
+     * Run the DUT under co-simulation until completion or a mismatch.
+     * @return cycles simulated
+     */
+    Cycle run(Cycle maxCycles);
+
+    /** Access a REF (e.g. for final-state assertions in tests). */
+    nemu::Nemu &ref(HartId hart) { return *refs_[hart]; }
+
+    /**
+     * The last N committed instructions before the mismatch (our
+     * analogue of the paper's Waveform Terminator: the trace tail a
+     * developer inspects first), rendered as text.
+     */
+    std::vector<std::string> recentCommitTrace() const;
+
+  private:
+    void onCommit(HartId hart, const CommitProbe &probe);
+    void onStore(const StoreProbe &probe);
+    void fail(HartId hart, const std::string &why);
+
+    xs::Soc &dut_;
+    RuleConfig rules_;
+    std::vector<std::unique_ptr<iss::System>> refSys_;
+    std::vector<std::unique_ptr<nemu::Nemu>> refs_;
+    GlobalMemory globalMem_;
+    PermissionScoreboard scoreboard_;
+    DiffStats stats_;
+    std::vector<std::string> failures_;
+    std::function<void(const std::string &)> onMismatch_;
+    std::unordered_map<Addr, unsigned> forcedAtPc_;
+
+    static constexpr size_t TRACE_DEPTH = 64;
+    std::vector<CommitProbe> trace_ = std::vector<CommitProbe>(TRACE_DEPTH);
+    size_t traceHead_ = 0;
+    size_t traceCount_ = 0;
+};
+
+} // namespace minjie::difftest
+
+#endif // MINJIE_DIFFTEST_DIFFTEST_H

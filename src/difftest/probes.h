@@ -1,0 +1,102 @@
+/**
+ * @file
+ * DRAV information probes (paper Section III-B3).
+ *
+ * Probes are the designer-authored extraction points embedded in the
+ * DUT. As in the paper, each probe describes ONE instruction / one
+ * event; a superscalar DUT instantiates the commit probe several times
+ * per cycle, and the number of instantiations implicitly conveys the
+ * commit width to the verification side.
+ *
+ * This header has no dependencies on either the DUT (xiangshan) or the
+ * checkers (difftest) so both sides can share it.
+ */
+
+#ifndef MINJIE_DIFFTEST_PROBES_H
+#define MINJIE_DIFFTEST_PROBES_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace minjie::difftest {
+
+/** One committed instruction, as observed at the DUT's commit stage. */
+struct CommitProbe
+{
+    HartId hart = 0;
+    Addr pc = 0;
+    uint32_t inst = 0;      ///< raw encoding
+    uint8_t rd = 0;
+    bool rdWritten = false; ///< integer rd updated
+    bool fpWritten = false; ///< fp rd updated
+    uint64_t rdValue = 0;
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool skip = false;      ///< MMIO access: REF must not replay it
+    Addr memVaddr = 0;
+    Addr memPaddr = 0;
+    uint64_t memData = 0;
+    uint8_t memSize = 0;
+
+    bool trap = false;      ///< this instruction raised an exception
+    uint64_t trapCause = 0;
+    bool interrupt = false; ///< DUT took an asynchronous interrupt here
+    bool scFailed = false;  ///< store-conditional failure (diff-rule)
+};
+
+/** A store leaving the store queue into the cache hierarchy (enters the
+ *  Global Memory; Section III-B2b). */
+struct StoreProbe
+{
+    HartId hart = 0;
+    Addr paddr = 0;
+    uint64_t data = 0;
+    uint8_t size = 0;
+};
+
+/** CSR state snapshot compared by the machine-CSR diff-rules. */
+struct CsrProbe
+{
+    HartId hart = 0;
+    uint64_t mstatus = 0;
+    uint64_t mepc = 0;
+    uint64_t mcause = 0;
+    uint64_t mtval = 0;
+    uint64_t mtvec = 0;
+    uint64_t mscratch = 0;
+    uint64_t mie = 0;
+    uint64_t mip = 0;
+    uint64_t medeleg = 0;
+    uint64_t mideleg = 0;
+    uint64_t sepc = 0;
+    uint64_t scause = 0;
+    uint64_t stval = 0;
+    uint64_t stvec = 0;
+    uint64_t sscratch = 0;
+    uint64_t satp = 0;
+    uint64_t mcycle = 0;
+    uint64_t minstret = 0;
+    uint8_t fflags = 0;
+    uint8_t frm = 0;
+    uint8_t priv = 3;
+
+    // Identification / counter CSRs covered by additional rules.
+    uint64_t misa = 0;
+    uint64_t mvendorid = 0;
+    uint64_t marchid = 0;
+    uint64_t mimpid = 0;
+    uint64_t mhartid = 0;
+    uint64_t mcounteren = 0;
+    uint64_t scounteren = 0;
+    uint64_t pmpcfg0 = 0;
+    uint64_t pmpaddr0 = 0;
+    uint64_t timeVal = 0;
+    uint64_t hpmcounter[16] = {};
+    uint64_t hpmevent[16] = {};
+};
+
+} // namespace minjie::difftest
+
+#endif // MINJIE_DIFFTEST_PROBES_H

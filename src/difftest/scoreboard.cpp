@@ -1,0 +1,97 @@
+#include "difftest/scoreboard.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace minjie::difftest {
+
+using uarch::Transaction;
+using uarch::TxnKind;
+
+namespace {
+
+/** The single-writer invariant is enforced among the L1 caches; inner
+ *  levels legitimately hold lines concurrently with their children. */
+bool
+isL1(const Transaction &txn)
+{
+    return std::strncmp(txn.cacheName, "L1I", 3) == 0 ||
+           std::strncmp(txn.cacheName, "L1D", 3) == 0;
+}
+
+} // namespace
+
+PermissionScoreboard::Perm
+PermissionScoreboard::permOf(Addr line, const void *cache) const
+{
+    auto it = perms_.find(line);
+    if (it == perms_.end())
+        return Perm::None;
+    auto jt = it->second.find(cache);
+    return jt == it->second.end() ? Perm::None : jt->second;
+}
+
+void
+PermissionScoreboard::violation(const char *what, const Transaction &txn)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "scoreboard: %s (%s on %s line 0x%llx at cycle %llu)",
+                  what, txnKindName(txn.kind), txn.cacheName,
+                  static_cast<unsigned long long>(txn.line),
+                  static_cast<unsigned long long>(txn.at));
+    violations_.push_back(buf);
+}
+
+void
+PermissionScoreboard::onTransaction(const Transaction &txn)
+{
+    if (!isL1(txn))
+        return;
+    ++checked_;
+    auto &lineMap = perms_[txn.line];
+
+    switch (txn.kind) {
+      case TxnKind::GrantExclusive:
+        for (const auto &[cache, perm] : lineMap) {
+            if (cache != txn.cache && perm != Perm::None) {
+                violation("exclusive grant while a peer holds the line",
+                          txn);
+                break;
+            }
+        }
+        lineMap[txn.cache] = Perm::Exclusive;
+        break;
+
+      case TxnKind::GrantShared:
+        for (const auto &[cache, perm] : lineMap) {
+            if (cache != txn.cache && perm == Perm::Exclusive) {
+                violation("shared grant while a peer holds exclusively",
+                          txn);
+                break;
+            }
+        }
+        lineMap[txn.cache] = Perm::Shared;
+        break;
+
+      case TxnKind::ProbeInvalid:
+        lineMap[txn.cache] = Perm::None;
+        break;
+
+      case TxnKind::ProbeShared:
+        if (lineMap[txn.cache] == Perm::Exclusive)
+            lineMap[txn.cache] = Perm::Shared;
+        break;
+
+      case TxnKind::Release:
+        // A release without a prior permission is a protocol bug.
+        if (permOf(txn.line, txn.cache) == Perm::None)
+            violation("release from a cache holding no permission", txn);
+        break;
+
+      default:
+        break;
+    }
+}
+
+} // namespace minjie::difftest

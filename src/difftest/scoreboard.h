@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cache-coherence permission scoreboard (paper Section III-B2b):
+ * tracks the permission each L1 data cache holds for every block, fed
+ * by the hierarchy's TileLink-flavoured transaction log, and flags
+ * grants that violate the single-writer/multiple-reader invariant.
+ */
+
+#ifndef MINJIE_DIFFTEST_SCOREBOARD_H
+#define MINJIE_DIFFTEST_SCOREBOARD_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "uarch/cache.h"
+
+namespace minjie::difftest {
+
+class PermissionScoreboard
+{
+  public:
+    enum class Perm : uint8_t { None, Shared, Exclusive };
+
+    /** Feed one observed transaction. */
+    void onTransaction(const uarch::Transaction &txn);
+
+    bool ok() const { return violations_.empty(); }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+    uint64_t transactionsChecked() const { return checked_; }
+
+  private:
+    /** Permission of @p cache on @p line as last granted. */
+    Perm permOf(Addr line, const void *cache) const;
+
+    void violation(const char *what, const uarch::Transaction &txn);
+
+    // line -> (cache instance -> permission)
+    std::unordered_map<Addr, std::unordered_map<const void *, Perm>>
+        perms_;
+    std::vector<std::string> violations_;
+    uint64_t checked_ = 0;
+};
+
+} // namespace minjie::difftest
+
+#endif // MINJIE_DIFFTEST_SCOREBOARD_H

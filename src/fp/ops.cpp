@@ -1,0 +1,606 @@
+#include "fp/ops.h"
+
+#include <bit>
+#include <cfenv>
+#include <cmath>
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+#include "common/log.h"
+#include "fp/softfloat.h"
+
+namespace minjie::fp {
+
+namespace {
+
+// Exception-flag capture. The NEMU speed story (paper Figure 8)
+// depends on host fp ops being nearly free; glibc's fenv functions
+// cost ~100 cycles each, so on x86 we read/write MXCSR directly
+// (all our fp math compiles to SSE).
+#if defined(__SSE2__)
+
+inline void
+clearFpExceptions()
+{
+    _mm_setcsr(_mm_getcsr() & ~0x3fu);
+}
+
+inline uint8_t
+flagsFromHost()
+{
+    unsigned e = _mm_getcsr();
+    uint8_t f = 0;
+    if (e & 0x20) // PE: precision (inexact)
+        f |= FLAG_NX;
+    if (e & 0x10) // UE: underflow
+        f |= FLAG_UF;
+    if (e & 0x08) // OE: overflow
+        f |= FLAG_OF;
+    if (e & 0x04) // ZE: zero-divide
+        f |= FLAG_DZ;
+    if (e & 0x01) // IE: invalid
+        f |= FLAG_NV;
+    return f;
+}
+
+#else
+
+inline void
+clearFpExceptions()
+{
+    std::feclearexcept(FE_ALL_EXCEPT);
+}
+
+inline uint8_t
+flagsFromHost()
+{
+    int e = std::fetestexcept(FE_ALL_EXCEPT);
+    uint8_t f = 0;
+    if (e & FE_INEXACT)
+        f |= FLAG_NX;
+    if (e & FE_UNDERFLOW)
+        f |= FLAG_UF;
+    if (e & FE_OVERFLOW)
+        f |= FLAG_OF;
+    if (e & FE_DIVBYZERO)
+        f |= FLAG_DZ;
+    if (e & FE_INVALID)
+        f |= FLAG_NV;
+    return f;
+}
+
+#endif
+
+float
+canon(float v)
+{
+    return std::isnan(v) ? std::bit_cast<float>(CANONICAL_NAN32) : v;
+}
+
+double
+canon(double v)
+{
+    return std::isnan(v) ? std::bit_cast<double>(CANONICAL_NAN64) : v;
+}
+
+/** Run a host-FPU binary op under a clean fp environment. */
+template <typename T, typename F>
+uint64_t
+hostBin(T a, T b, F fn, uint8_t &flags)
+{
+    clearFpExceptions();
+    volatile T r = fn(a, b);
+    flags |= flagsFromHost();
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(canon(static_cast<T>(r))));
+    else
+        return std::bit_cast<uint64_t>(canon(static_cast<T>(r)));
+}
+
+template <typename T>
+uint64_t
+hostSqrt(T a, uint8_t &flags)
+{
+    clearFpExceptions();
+    volatile T r = std::sqrt(a);
+    flags |= flagsFromHost();
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(canon(static_cast<T>(r))));
+    else
+        return std::bit_cast<uint64_t>(canon(static_cast<T>(r)));
+}
+
+template <typename T>
+uint64_t
+hostFma(T a, T b, T c, uint8_t &flags)
+{
+    clearFpExceptions();
+    volatile T r = std::fma(a, b, c);
+    flags |= flagsFromHost();
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(canon(static_cast<T>(r))));
+    else
+        return std::bit_cast<uint64_t>(canon(static_cast<T>(r)));
+}
+
+template <typename T>
+T
+roundByRm(T v, unsigned rm)
+{
+    switch (rm) {
+      case 0: return std::nearbyint(v); // RNE (default fenv mode)
+      case 1: return std::trunc(v);     // RTZ
+      case 2: return std::floor(v);     // RDN
+      case 3: return std::ceil(v);      // RUP
+      case 4: return std::round(v);     // RMM
+      default: return std::nearbyint(v);
+    }
+}
+
+/** Sign-extend 32-bit conversion results into rd as the ISA requires. */
+template <typename I>
+uint64_t
+toRd(I v)
+{
+    if constexpr (sizeof(I) == 4)
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(v)));
+    else
+        return static_cast<uint64_t>(v);
+}
+
+/**
+ * Convert fp to integer with RISC-V saturating semantics.
+ * @tparam I destination integer type
+ */
+template <typename I, typename T>
+uint64_t
+cvtF2I(T v, unsigned rm, uint8_t &flags)
+{
+    constexpr bool is_signed = static_cast<I>(-1) < 0;
+    constexpr I maxv = is_signed
+        ? static_cast<I>((~static_cast<uint64_t>(0)) >>
+                         (65 - sizeof(I) * 8))
+        : static_cast<I>(~static_cast<I>(0));
+    constexpr I minv = is_signed
+        ? static_cast<I>(static_cast<uint64_t>(1) << (sizeof(I) * 8 - 1))
+        : 0;
+
+    if (std::isnan(v)) {
+        flags |= FLAG_NV;
+        return toRd(maxv);
+    }
+    T r = roundByRm(v, rm);
+    // Bounds: 2^(w-1) and 2^w are exactly representable in T.
+    T upper = is_signed ? std::ldexp(T(1), sizeof(I) * 8 - 1)
+                        : std::ldexp(T(1), sizeof(I) * 8);
+    if (r >= upper) {
+        flags |= FLAG_NV;
+        return toRd(maxv);
+    }
+    if (is_signed ? (r < -upper) : (r < 0)) {
+        flags |= FLAG_NV;
+        return toRd(minv);
+    }
+    if (r != v)
+        flags |= FLAG_NX;
+    return toRd(static_cast<I>(r));
+}
+
+/** Convert integer to fp; detects inexactness via x87 extended compare. */
+template <typename T, typename I>
+uint64_t
+cvtI2F(I v, uint8_t &flags)
+{
+    T r = static_cast<T>(v);
+    if (static_cast<long double>(r) != static_cast<long double>(v))
+        flags |= FLAG_NX;
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(r));
+    else
+        return std::bit_cast<uint64_t>(r);
+}
+
+template <typename T>
+bool
+isSnanV(T v)
+{
+    if (!std::isnan(v))
+        return false;
+    if constexpr (sizeof(T) == 4)
+        return !(std::bit_cast<uint32_t>(v) & 0x00400000u);
+    else
+        return !(std::bit_cast<uint64_t>(v) & 0x0008000000000000ull);
+}
+
+/** RISC-V fmin/fmax: NaN-aware, -0 considered less than +0. */
+template <typename T>
+uint64_t
+minMax(T a, T b, bool is_max, uint8_t &flags)
+{
+    if (isSnanV(a) || isSnanV(b))
+        flags |= FLAG_NV;
+    T r;
+    if (std::isnan(a) && std::isnan(b)) {
+        r = canon(a);
+    } else if (std::isnan(a)) {
+        r = b;
+    } else if (std::isnan(b)) {
+        r = a;
+    } else if (a == b) {
+        // Distinguish -0 and +0.
+        bool sa = std::signbit(a), sb = std::signbit(b);
+        r = is_max ? (sa ? b : a) : (sa ? a : b);
+        (void)sb;
+    } else {
+        r = is_max ? (a > b ? a : b) : (a < b ? a : b);
+    }
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(r));
+    else
+        return std::bit_cast<uint64_t>(r);
+}
+
+template <typename T>
+uint64_t
+cmp(T a, T b, int kind, uint8_t &flags)
+{
+    // kind: 0=feq (quiet), 1=flt, 2=fle (signaling).
+    if (std::isnan(a) || std::isnan(b)) {
+        if (kind != 0 || isSnanV(a) || isSnanV(b))
+            flags |= FLAG_NV;
+        return 0;
+    }
+    switch (kind) {
+      case 0: return a == b;
+      case 1: return a < b;
+      default: return a <= b;
+    }
+}
+
+template <typename T>
+uint64_t
+fclass(T v)
+{
+    bool neg = std::signbit(v);
+    if (std::isinf(v))
+        return neg ? 1u << 0 : 1u << 7;
+    if (std::isnan(v))
+        return isSnanV(v) ? 1u << 8 : 1u << 9;
+    if (v == T(0))
+        return neg ? 1u << 3 : 1u << 4;
+    if (std::fpclassify(v) == FP_SUBNORMAL)
+        return neg ? 1u << 2 : 1u << 5;
+    return neg ? 1u << 1 : 1u << 6;
+}
+
+float asF(uint64_t v) { return std::bit_cast<float>(unboxF32(v)); }
+double asD(uint64_t v) { return std::bit_cast<double>(v); }
+
+/** Raw host arithmetic: no flag capture (see fpExecFast). */
+template <typename T, typename F>
+uint64_t
+rawBin(T a, T b, F fn)
+{
+    T r = fn(a, b);
+    if constexpr (sizeof(T) == 4)
+        return boxF32(std::bit_cast<uint32_t>(canon(r)));
+    else
+        return std::bit_cast<uint64_t>(canon(r));
+}
+
+uint64_t
+sgnj32(uint64_t a, uint64_t b, int mode)
+{
+    uint32_t ua = unboxF32(a), ub = unboxF32(b);
+    uint32_t sign;
+    switch (mode) {
+      case 0: sign = ub & 0x80000000u; break;
+      case 1: sign = ~ub & 0x80000000u; break;
+      default: sign = (ua ^ ub) & 0x80000000u; break;
+    }
+    return boxF32((ua & 0x7fffffffu) | sign);
+}
+
+uint64_t
+sgnj64(uint64_t a, uint64_t b, int mode)
+{
+    constexpr uint64_t S = 0x8000000000000000ull;
+    uint64_t sign;
+    switch (mode) {
+      case 0: sign = b & S; break;
+      case 1: sign = ~b & S; break;
+      default: sign = (a ^ b) & S; break;
+    }
+    return (a & ~S) | sign;
+}
+
+} // namespace
+
+FpOut
+fpExec(isa::Op op, uint64_t a, uint64_t b, uint64_t c, unsigned rm,
+       FpBackend be)
+{
+    using isa::Op;
+    FpOut out;
+    uint8_t &f = out.flags;
+    bool soft = be == FpBackend::Soft;
+
+    switch (op) {
+      // --- binary32 arithmetic ---
+      case Op::FaddS:
+        out.value = soft ? boxF32(softAdd32(unboxF32(a), unboxF32(b), f))
+                         : hostBin<float>(asF(a), asF(b),
+                                          [](float x, float y) { return x + y; }, f);
+        break;
+      case Op::FsubS:
+        out.value = soft ? boxF32(softSub32(unboxF32(a), unboxF32(b), f))
+                         : hostBin<float>(asF(a), asF(b),
+                                          [](float x, float y) { return x - y; }, f);
+        break;
+      case Op::FmulS:
+        out.value = soft ? boxF32(softMul32(unboxF32(a), unboxF32(b), f))
+                         : hostBin<float>(asF(a), asF(b),
+                                          [](float x, float y) { return x * y; }, f);
+        break;
+      case Op::FdivS:
+        out.value = soft ? boxF32(softDiv32(unboxF32(a), unboxF32(b), f))
+                         : hostBin<float>(asF(a), asF(b),
+                                          [](float x, float y) { return x / y; }, f);
+        break;
+      case Op::FsqrtS:
+        out.value = soft ? boxF32(softSqrt32(unboxF32(a), f))
+                         : hostSqrt<float>(asF(a), f);
+        break;
+
+      // --- binary64 arithmetic ---
+      case Op::FaddD:
+        out.value = soft ? softAdd64(a, b, f)
+                         : hostBin<double>(asD(a), asD(b),
+                                           [](double x, double y) { return x + y; }, f);
+        break;
+      case Op::FsubD:
+        out.value = soft ? softSub64(a, b, f)
+                         : hostBin<double>(asD(a), asD(b),
+                                           [](double x, double y) { return x - y; }, f);
+        break;
+      case Op::FmulD:
+        out.value = soft ? softMul64(a, b, f)
+                         : hostBin<double>(asD(a), asD(b),
+                                           [](double x, double y) { return x * y; }, f);
+        break;
+      case Op::FdivD:
+        out.value = soft ? softDiv64(a, b, f)
+                         : hostBin<double>(asD(a), asD(b),
+                                           [](double x, double y) { return x / y; }, f);
+        break;
+      case Op::FsqrtD:
+        out.value = soft ? softSqrt64(a, f) : hostSqrt<double>(asD(a), f);
+        break;
+
+      // --- FMA family (host fma for both backends; the paper's NEMU
+      // likewise calls the math library's fma()) ---
+      case Op::FmaddS:
+        out.value = hostFma<float>(asF(a), asF(b), asF(c), f);
+        break;
+      case Op::FmsubS:
+        out.value = hostFma<float>(asF(a), asF(b), -asF(c), f);
+        break;
+      case Op::FnmsubS:
+        out.value = hostFma<float>(-asF(a), asF(b), asF(c), f);
+        break;
+      case Op::FnmaddS:
+        out.value = hostFma<float>(-asF(a), asF(b), -asF(c), f);
+        break;
+      case Op::FmaddD:
+        out.value = hostFma<double>(asD(a), asD(b), asD(c), f);
+        break;
+      case Op::FmsubD:
+        out.value = hostFma<double>(asD(a), asD(b), -asD(c), f);
+        break;
+      case Op::FnmsubD:
+        out.value = hostFma<double>(-asD(a), asD(b), asD(c), f);
+        break;
+      case Op::FnmaddD:
+        out.value = hostFma<double>(-asD(a), asD(b), -asD(c), f);
+        break;
+
+      // --- sign injection ---
+      case Op::FsgnjS: out.value = sgnj32(a, b, 0); break;
+      case Op::FsgnjnS: out.value = sgnj32(a, b, 1); break;
+      case Op::FsgnjxS: out.value = sgnj32(a, b, 2); break;
+      case Op::FsgnjD: out.value = sgnj64(a, b, 0); break;
+      case Op::FsgnjnD: out.value = sgnj64(a, b, 1); break;
+      case Op::FsgnjxD: out.value = sgnj64(a, b, 2); break;
+
+      // --- min/max ---
+      case Op::FminS: out.value = minMax<float>(asF(a), asF(b), false, f); break;
+      case Op::FmaxS: out.value = minMax<float>(asF(a), asF(b), true, f); break;
+      case Op::FminD: out.value = minMax<double>(asD(a), asD(b), false, f); break;
+      case Op::FmaxD: out.value = minMax<double>(asD(a), asD(b), true, f); break;
+
+      // --- comparisons ---
+      case Op::FeqS: out.value = cmp<float>(asF(a), asF(b), 0, f); break;
+      case Op::FltS: out.value = cmp<float>(asF(a), asF(b), 1, f); break;
+      case Op::FleS: out.value = cmp<float>(asF(a), asF(b), 2, f); break;
+      case Op::FeqD: out.value = cmp<double>(asD(a), asD(b), 0, f); break;
+      case Op::FltD: out.value = cmp<double>(asD(a), asD(b), 1, f); break;
+      case Op::FleD: out.value = cmp<double>(asD(a), asD(b), 2, f); break;
+
+      // --- classification ---
+      case Op::FclassS: out.value = fclass<float>(asF(a)); break;
+      case Op::FclassD: out.value = fclass<double>(asD(a)); break;
+
+      // --- fp -> int conversions ---
+      case Op::FcvtWS: out.value = cvtF2I<int32_t>(asF(a), rm, f); break;
+      case Op::FcvtWuS: out.value = cvtF2I<uint32_t>(asF(a), rm, f); break;
+      case Op::FcvtLS: out.value = cvtF2I<int64_t>(asF(a), rm, f); break;
+      case Op::FcvtLuS: out.value = cvtF2I<uint64_t>(asF(a), rm, f); break;
+      case Op::FcvtWD: out.value = cvtF2I<int32_t>(asD(a), rm, f); break;
+      case Op::FcvtWuD: out.value = cvtF2I<uint32_t>(asD(a), rm, f); break;
+      case Op::FcvtLD: out.value = cvtF2I<int64_t>(asD(a), rm, f); break;
+      case Op::FcvtLuD: out.value = cvtF2I<uint64_t>(asD(a), rm, f); break;
+
+      // --- int -> fp conversions (operand in a as raw integer) ---
+      case Op::FcvtSW:
+        out.value = cvtI2F<float>(static_cast<int32_t>(a), f);
+        break;
+      case Op::FcvtSWu:
+        out.value = cvtI2F<float>(static_cast<uint32_t>(a), f);
+        break;
+      case Op::FcvtSL:
+        out.value = cvtI2F<float>(static_cast<int64_t>(a), f);
+        break;
+      case Op::FcvtSLu:
+        out.value = cvtI2F<float>(a, f);
+        break;
+      case Op::FcvtDW:
+        out.value = cvtI2F<double>(static_cast<int32_t>(a), f);
+        break;
+      case Op::FcvtDWu:
+        out.value = cvtI2F<double>(static_cast<uint32_t>(a), f);
+        break;
+      case Op::FcvtDL:
+        out.value = cvtI2F<double>(static_cast<int64_t>(a), f);
+        break;
+      case Op::FcvtDLu:
+        out.value = cvtI2F<double>(a, f);
+        break;
+
+      // --- fp <-> fp conversions ---
+      case Op::FcvtSD: {
+        clearFpExceptions();
+        volatile float r = static_cast<float>(asD(a));
+        f |= flagsFromHost();
+        if (isSnanV(asD(a)))
+            f |= FLAG_NV;
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(static_cast<float>(r))));
+        break;
+      }
+      case Op::FcvtDS: {
+        float v = asF(a);
+        if (isSnanV(v))
+            f |= FLAG_NV;
+        out.value = std::bit_cast<uint64_t>(
+            canon(static_cast<double>(v)));
+        break;
+      }
+
+      // --- moves ---
+      case Op::FmvXW:
+        out.value = static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int32_t>(a)));
+        break;
+      case Op::FmvWX:
+        out.value = boxF32(static_cast<uint32_t>(a));
+        break;
+      case Op::FmvXD:
+        out.value = a;
+        break;
+      case Op::FmvDX:
+        out.value = a;
+        break;
+
+      default:
+        panic("fpExec: not an fp op: %s", isa::opName(op));
+    }
+    return out;
+}
+
+uint8_t
+harvestHostFpFlags()
+{
+    uint8_t f = flagsFromHost();
+    clearFpExceptions();
+    return f;
+}
+
+FpOut
+fpExecFast(isa::Op op, uint64_t a, uint64_t b, uint64_t c, unsigned rm)
+{
+    using isa::Op;
+    FpOut out;
+    switch (op) {
+      case Op::FaddS:
+        out.value = rawBin<float>(asF(a), asF(b),
+                                  [](float x, float y) { return x + y; });
+        return out;
+      case Op::FsubS:
+        out.value = rawBin<float>(asF(a), asF(b),
+                                  [](float x, float y) { return x - y; });
+        return out;
+      case Op::FmulS:
+        out.value = rawBin<float>(asF(a), asF(b),
+                                  [](float x, float y) { return x * y; });
+        return out;
+      case Op::FdivS:
+        out.value = rawBin<float>(asF(a), asF(b),
+                                  [](float x, float y) { return x / y; });
+        return out;
+      case Op::FsqrtS:
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(std::sqrt(asF(a)))));
+        return out;
+      case Op::FaddD:
+        out.value = rawBin<double>(asD(a), asD(b),
+                                   [](double x, double y) { return x + y; });
+        return out;
+      case Op::FsubD:
+        out.value = rawBin<double>(asD(a), asD(b),
+                                   [](double x, double y) { return x - y; });
+        return out;
+      case Op::FmulD:
+        out.value = rawBin<double>(asD(a), asD(b),
+                                   [](double x, double y) { return x * y; });
+        return out;
+      case Op::FdivD:
+        out.value = rawBin<double>(asD(a), asD(b),
+                                   [](double x, double y) { return x / y; });
+        return out;
+      case Op::FsqrtD:
+        out.value =
+            std::bit_cast<uint64_t>(canon(std::sqrt(asD(a))));
+        return out;
+      case Op::FmaddS:
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(std::fma(asF(a), asF(b), asF(c)))));
+        return out;
+      case Op::FmsubS:
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(std::fma(asF(a), asF(b), -asF(c)))));
+        return out;
+      case Op::FnmsubS:
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(std::fma(-asF(a), asF(b), asF(c)))));
+        return out;
+      case Op::FnmaddS:
+        out.value = boxF32(std::bit_cast<uint32_t>(
+            canon(std::fma(-asF(a), asF(b), -asF(c)))));
+        return out;
+      case Op::FmaddD:
+        out.value = std::bit_cast<uint64_t>(
+            canon(std::fma(asD(a), asD(b), asD(c))));
+        return out;
+      case Op::FmsubD:
+        out.value = std::bit_cast<uint64_t>(
+            canon(std::fma(asD(a), asD(b), -asD(c))));
+        return out;
+      case Op::FnmsubD:
+        out.value = std::bit_cast<uint64_t>(
+            canon(std::fma(-asD(a), asD(b), asD(c))));
+        return out;
+      case Op::FnmaddD:
+        out.value = std::bit_cast<uint64_t>(
+            canon(std::fma(-asD(a), asD(b), -asD(c))));
+        return out;
+      default:
+        // Converts, compares, moves, min/max: the flag computation is
+        // already cheap and manual; reuse the flagged path.
+        return fpExec(op, a, b, c, rm, FpBackend::Host);
+    }
+}
+
+} // namespace minjie::fp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RISC-V F/D instruction semantics.
+ *
+ * Every interpreter and the cycle model execute fp instructions through
+ * fpExec(), selecting one of two backends:
+ *  - FpBackend::Host — host FPU instructions (the NEMU approach,
+ *    paper Section III-D1d);
+ *  - FpBackend::Soft — the bit-level software float in softfloat.h (the
+ *    Spike/SoftFloat approach the paper compares against).
+ * Both produce identical bit patterns (RISC-V canonical NaNs), verified
+ * by property tests, so DiffTest comparisons are backend-independent.
+ */
+
+#ifndef MINJIE_FP_OPS_H
+#define MINJIE_FP_OPS_H
+
+#include <cstdint>
+
+#include "isa/op.h"
+
+namespace minjie::fp {
+
+enum class FpBackend : uint8_t { Host, Soft };
+
+/** Result of one fp operation: a value plus accumulated fflags bits. */
+struct FpOut
+{
+    uint64_t value = 0; ///< fp register pattern or integer result
+    uint8_t flags = 0;  ///< FpFlags bits to OR into fflags
+};
+
+/**
+ * Execute the fp instruction @p op.
+ *
+ * @param op   the decoded operation (must satisfy isa::isFp or be an
+ *             int-to-fp move/convert)
+ * @param a    rs1: raw f-register pattern, or integer operand for
+ *             int-to-fp conversions / fmv.w.x
+ * @param b    rs2 raw f-register pattern (when read)
+ * @param c    rs3 raw f-register pattern (FMA family)
+ * @param rm   rounding-mode field (dynamic resolved by the caller);
+ *             honoured for conversions, RNE assumed for arithmetic
+ * @param backend which execution backend to use
+ */
+FpOut fpExec(isa::Op op, uint64_t a, uint64_t b, uint64_t c, unsigned rm,
+             FpBackend backend);
+
+/**
+ * Fast-path variant for the NEMU hot loop (paper Section III-D1d):
+ * arithmetic runs on the raw host FPU with NO per-op exception-flag
+ * capture; flags accumulate stickily in the host MXCSR and are
+ * harvested lazily via harvestHostFpFlags() before any architectural
+ * fflags access. Non-arithmetic ops (converts, compares, min/max)
+ * still return their cheaply-computed flags in FpOut::flags.
+ */
+FpOut fpExecFast(isa::Op op, uint64_t a, uint64_t b, uint64_t c,
+                 unsigned rm);
+
+/** Collect (and clear) the host FPU's sticky exception flags as RISC-V
+ *  fflags bits. Pairs with fpExecFast. */
+uint8_t harvestHostFpFlags();
+
+/** NaN-box a binary32 value into a 64-bit f-register pattern. */
+constexpr uint64_t
+boxF32(uint32_t v)
+{
+    return 0xffffffff00000000ull | v;
+}
+
+/** Unbox a binary32 from an f-register; unboxed inputs read as qNaN. */
+constexpr uint32_t
+unboxF32(uint64_t v)
+{
+    return (v >> 32) == 0xffffffffu ? static_cast<uint32_t>(v)
+                                    : 0x7fc00000u;
+}
+
+} // namespace minjie::fp
+
+#endif // MINJIE_FP_OPS_H

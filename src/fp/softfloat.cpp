@@ -1,0 +1,344 @@
+#include "fp/softfloat.h"
+
+#include <utility>
+
+namespace minjie::fp {
+
+namespace {
+
+/**
+ * Generic IEEE-754 binary-format core, round-to-nearest-even.
+ *
+ * Internal representation inside an operation: a significand @c sig with
+ * the hidden bit at position FB+3 (three guard/round/sticky bits below
+ * the ulp), plus a biased exponent that may temporarily leave the legal
+ * range; roundPack() normalizes, rounds, and handles overflow/underflow.
+ *
+ * @tparam UI storage integer for the format (uint32_t / uint64_t)
+ * @tparam UW wide integer able to hold a full product (uint64_t / u128)
+ * @tparam EB exponent field width
+ * @tparam FB fraction field width
+ */
+template <typename UI, typename UW, int EB, int FB>
+struct SF
+{
+    static constexpr int BIAS = (1 << (EB - 1)) - 1;
+    static constexpr int EXP_MAX = (1 << EB) - 1;
+    static constexpr UI FRAC_MASK = (UI(1) << FB) - 1;
+    static constexpr UI HIDDEN = UI(1) << FB;
+    static constexpr UI QNAN =
+        (UI(EXP_MAX) << FB) | (UI(1) << (FB - 1));
+
+    static bool sign(UI a) { return (a >> (EB + FB)) & 1; }
+    static int expf(UI a) { return static_cast<int>((a >> FB) & EXP_MAX); }
+    static UI frac(UI a) { return a & FRAC_MASK; }
+    static bool isNan(UI a) { return expf(a) == EXP_MAX && frac(a) != 0; }
+    static bool
+    isSnan(UI a)
+    {
+        return isNan(a) && !((a >> (FB - 1)) & 1);
+    }
+    static bool isInf(UI a) { return expf(a) == EXP_MAX && frac(a) == 0; }
+    static bool isZero(UI a) { return (a << 1) == 0; }
+
+    static UI
+    pack(bool s, int e, UI f)
+    {
+        return (UI(s) << (EB + FB)) | (UI(e) << FB) | f;
+    }
+    static UI inf(bool s) { return pack(s, EXP_MAX, 0); }
+
+    static int
+    msbIndex(UW v)
+    {
+        int i = -1;
+        while (v) {
+            v >>= 1;
+            ++i;
+        }
+        return i;
+    }
+
+    static UW
+    shiftRightSticky(UW v, int n)
+    {
+        if (n <= 0)
+            return v << (-n);
+        if (n >= static_cast<int>(sizeof(UW) * 8))
+            return v ? 1 : 0;
+        UW out = v >> n;
+        if (v & ((UW(1) << n) - 1))
+            out |= 1;
+        return out;
+    }
+
+    /** Drop the 3 GRS bits with round-to-nearest-even. */
+    static UW
+    rne3(UW sig)
+    {
+        UW r = sig >> 3;
+        unsigned low = static_cast<unsigned>(sig & 7);
+        if (low > 4 || (low == 4 && (r & 1)))
+            ++r;
+        return r;
+    }
+
+    /**
+     * Normalize, round and pack (sign, exp, sig) where the value is
+     * sig * 2^(exp - BIAS - FB - 3). @p sig may be unnormalized.
+     */
+    static UI
+    roundPack(bool s, int exp, UW sig, uint8_t &flags)
+    {
+        if (sig == 0)
+            return pack(s, 0, 0);
+
+        // Normalize hidden bit to position FB+3.
+        int msb = msbIndex(sig);
+        if (msb < FB + 3) {
+            sig <<= (FB + 3 - msb);
+            exp -= (FB + 3 - msb);
+        } else if (msb > FB + 3) {
+            sig = shiftRightSticky(sig, msb - (FB + 3));
+            exp += msb - (FB + 3);
+        }
+
+        if (exp >= EXP_MAX) {
+            flags |= FLAG_OF | FLAG_NX;
+            return inf(s);
+        }
+
+        if (exp <= 0) {
+            // Tininess detected after rounding with unbounded exponent,
+            // matching the x86 FPU so the host path agrees bit-for-bit.
+            UW unb = rne3(sig);
+            bool tiny = exp + msbIndex(unb) < FB + 1;
+            int shift = 1 - exp;
+            if (shift > FB + 4)
+                shift = FB + 4;
+            sig = shiftRightSticky(sig, shift);
+            bool inexact = (sig & 7) != 0;
+            UW rounded = rne3(sig);
+            if (inexact) {
+                flags |= FLAG_NX;
+                if (tiny)
+                    flags |= FLAG_UF;
+            }
+            if (rounded >> FB)
+                return pack(s, 1, static_cast<UI>(rounded) & FRAC_MASK);
+            return pack(s, 0, static_cast<UI>(rounded));
+        }
+
+        bool inexact = (sig & 7) != 0;
+        UW rounded = rne3(sig);
+        if (inexact)
+            flags |= FLAG_NX;
+        if (rounded >> (FB + 1)) {
+            rounded >>= 1;
+            ++exp;
+            if (exp >= EXP_MAX) {
+                flags |= FLAG_OF | FLAG_NX;
+                return inf(s);
+            }
+        }
+        return pack(s, exp, static_cast<UI>(rounded) & FRAC_MASK);
+    }
+
+    static UI
+    propagateNan(UI a, UI b, uint8_t &flags)
+    {
+        if (isSnan(a) || isSnan(b))
+            flags |= FLAG_NV;
+        return QNAN;
+    }
+
+    static UI
+    add(UI a, UI b, uint8_t &flags)
+    {
+        if (isNan(a) || isNan(b))
+            return propagateNan(a, b, flags);
+        if (isInf(a) || isInf(b)) {
+            if (isInf(a) && isInf(b) && sign(a) != sign(b)) {
+                flags |= FLAG_NV;
+                return QNAN;
+            }
+            return isInf(a) ? a : b;
+        }
+        if (isZero(a) && isZero(b)) {
+            // (+0)+(+0)=+0, (-0)+(-0)=-0, mixed = +0 under RNE.
+            return (sign(a) && sign(b)) ? pack(true, 0, 0) : pack(false, 0, 0);
+        }
+
+        bool sa = sign(a), sb = sign(b);
+        int ea = expf(a) ? expf(a) : 1;
+        int eb = expf(b) ? expf(b) : 1;
+        UW siga = (UW(frac(a)) | (expf(a) ? UW(HIDDEN) : 0)) << 3;
+        UW sigb = (UW(frac(b)) | (expf(b) ? UW(HIDDEN) : 0)) << 3;
+
+        // Order so |a| >= |b|.
+        if (ea < eb || (ea == eb && siga < sigb)) {
+            std::swap(ea, eb);
+            std::swap(siga, sigb);
+            std::swap(sa, sb);
+        }
+        sigb = shiftRightSticky(sigb, ea - eb);
+
+        if (sa == sb)
+            return roundPack(sa, ea, siga + sigb, flags);
+        UW diff = siga - sigb;
+        if (diff == 0)
+            return pack(false, 0, 0);
+        return roundPack(sa, ea, diff, flags);
+    }
+
+    static UI
+    sub(UI a, UI b, uint8_t &flags)
+    {
+        if (isNan(a) || isNan(b))
+            return propagateNan(a, b, flags);
+        return add(a, b ^ (UI(1) << (EB + FB)), flags);
+    }
+
+    static UI
+    mul(UI a, UI b, uint8_t &flags)
+    {
+        if (isNan(a) || isNan(b))
+            return propagateNan(a, b, flags);
+        bool s = sign(a) ^ sign(b);
+        if (isInf(a) || isInf(b)) {
+            if (isZero(a) || isZero(b)) {
+                flags |= FLAG_NV;
+                return QNAN;
+            }
+            return inf(s);
+        }
+        if (isZero(a) || isZero(b))
+            return pack(s, 0, 0);
+
+        int ea = expf(a) ? expf(a) : 1;
+        int eb = expf(b) ? expf(b) : 1;
+        UW siga = UW(frac(a)) | (expf(a) ? UW(HIDDEN) : 0);
+        UW sigb = UW(frac(b)) | (expf(b) ? UW(HIDDEN) : 0);
+        while (!(siga >> FB)) {
+            siga <<= 1;
+            --ea;
+        }
+        while (!(sigb >> FB)) {
+            sigb <<= 1;
+            --eb;
+        }
+        UW product = siga * sigb;
+        UW sig = shiftRightSticky(product, FB - 3);
+        return roundPack(s, ea + eb - BIAS, sig, flags);
+    }
+
+    static UI
+    div(UI a, UI b, uint8_t &flags)
+    {
+        if (isNan(a) || isNan(b))
+            return propagateNan(a, b, flags);
+        bool s = sign(a) ^ sign(b);
+        if (isInf(a)) {
+            if (isInf(b)) {
+                flags |= FLAG_NV;
+                return QNAN;
+            }
+            return inf(s);
+        }
+        if (isInf(b))
+            return pack(s, 0, 0);
+        if (isZero(b)) {
+            if (isZero(a)) {
+                flags |= FLAG_NV;
+                return QNAN;
+            }
+            flags |= FLAG_DZ;
+            return inf(s);
+        }
+        if (isZero(a))
+            return pack(s, 0, 0);
+
+        int ea = expf(a) ? expf(a) : 1;
+        int eb = expf(b) ? expf(b) : 1;
+        UW siga = UW(frac(a)) | (expf(a) ? UW(HIDDEN) : 0);
+        UW sigb = UW(frac(b)) | (expf(b) ? UW(HIDDEN) : 0);
+        while (!(siga >> FB)) {
+            siga <<= 1;
+            --ea;
+        }
+        while (!(sigb >> FB)) {
+            sigb <<= 1;
+            --eb;
+        }
+        UW num = siga << (FB + 4);
+        UW q = num / sigb;
+        if (num % sigb)
+            q |= 1;
+        return roundPack(s, ea - eb + BIAS - 1, q, flags);
+    }
+
+    static UI
+    sqrt(UI a, uint8_t &flags)
+    {
+        if (isNan(a)) {
+            if (isSnan(a))
+                flags |= FLAG_NV;
+            return QNAN;
+        }
+        if (isZero(a))
+            return a; // +-0
+        if (sign(a)) {
+            flags |= FLAG_NV;
+            return QNAN;
+        }
+        if (isInf(a))
+            return a;
+
+        int ea = expf(a) ? expf(a) : 1;
+        UW sig = UW(frac(a)) | (expf(a) ? UW(HIDDEN) : 0);
+        while (!(sig >> FB)) {
+            sig <<= 1;
+            --ea;
+        }
+        int e = ea - BIAS;                 // unbiased exponent
+        int k = (e >= 0) ? e / 2 : (e - 1) / 2; // floor(e/2)
+        // radicand = sig * 2^(e - FB), expressed as m * 2^(2k) with
+        // m in [1,4); integer R = m << (2*(FB+3)).
+        UW r = sig << (FB + 6 + (e - 2 * k));
+
+        // Bitwise integer square root of R.
+        UW res = 0, bitpos = UW(1) << ((msbIndex(r) / 2) * 2);
+        UW rem = r;
+        while (bitpos) {
+            if (rem >= res + bitpos) {
+                rem -= res + bitpos;
+                res = (res >> 1) + bitpos;
+            } else {
+                res >>= 1;
+            }
+            bitpos >>= 2;
+        }
+        if (rem)
+            res |= 1; // sticky; sqrt can never be an exact tie
+        return roundPack(false, k + BIAS, res, flags);
+    }
+};
+
+using F32 = SF<uint32_t, uint64_t, 8, 23>;
+using F64 = SF<uint64_t, unsigned __int128, 11, 52>;
+
+} // namespace
+
+uint32_t softAdd32(uint32_t a, uint32_t b, uint8_t &f) { return F32::add(a, b, f); }
+uint32_t softSub32(uint32_t a, uint32_t b, uint8_t &f) { return F32::sub(a, b, f); }
+uint32_t softMul32(uint32_t a, uint32_t b, uint8_t &f) { return F32::mul(a, b, f); }
+uint32_t softDiv32(uint32_t a, uint32_t b, uint8_t &f) { return F32::div(a, b, f); }
+uint32_t softSqrt32(uint32_t a, uint8_t &f) { return F32::sqrt(a, f); }
+
+uint64_t softAdd64(uint64_t a, uint64_t b, uint8_t &f) { return F64::add(a, b, f); }
+uint64_t softSub64(uint64_t a, uint64_t b, uint8_t &f) { return F64::sub(a, b, f); }
+uint64_t softMul64(uint64_t a, uint64_t b, uint8_t &f) { return F64::mul(a, b, f); }
+uint64_t softDiv64(uint64_t a, uint64_t b, uint8_t &f) { return F64::div(a, b, f); }
+uint64_t softSqrt64(uint64_t a, uint8_t &f) { return F64::sqrt(a, f); }
+
+} // namespace minjie::fp

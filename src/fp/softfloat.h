@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bit-level IEEE-754 software floating point (binary32/binary64).
+ *
+ * This is the slow path used by the Spike-proxy interpreter; the paper
+ * attributes much of NEMU's SPECfp speedup to replacing a SoftFloat
+ * library with host floating-point instructions, so we keep a genuine
+ * software implementation here rather than a stub. Round-to-nearest-even
+ * only; results are verified bit-exact against the host FPU by property
+ * tests (tests/fp).
+ */
+
+#ifndef MINJIE_FP_SOFTFLOAT_H
+#define MINJIE_FP_SOFTFLOAT_H
+
+#include <cstdint>
+
+namespace minjie::fp {
+
+/** RISC-V fflags bits. */
+enum FpFlags : uint8_t {
+    FLAG_NX = 0x01, ///< inexact
+    FLAG_UF = 0x02, ///< underflow
+    FLAG_OF = 0x04, ///< overflow
+    FLAG_DZ = 0x08, ///< divide by zero
+    FLAG_NV = 0x10, ///< invalid
+};
+
+/** Canonical (quiet) NaN patterns mandated by RISC-V for NaN results. */
+constexpr uint32_t CANONICAL_NAN32 = 0x7fc00000u;
+constexpr uint64_t CANONICAL_NAN64 = 0x7ff8000000000000ull;
+
+// binary32 operations on raw bit patterns; @p flags accumulates fflags.
+uint32_t softAdd32(uint32_t a, uint32_t b, uint8_t &flags);
+uint32_t softSub32(uint32_t a, uint32_t b, uint8_t &flags);
+uint32_t softMul32(uint32_t a, uint32_t b, uint8_t &flags);
+uint32_t softDiv32(uint32_t a, uint32_t b, uint8_t &flags);
+uint32_t softSqrt32(uint32_t a, uint8_t &flags);
+
+// binary64 operations.
+uint64_t softAdd64(uint64_t a, uint64_t b, uint8_t &flags);
+uint64_t softSub64(uint64_t a, uint64_t b, uint8_t &flags);
+uint64_t softMul64(uint64_t a, uint64_t b, uint8_t &flags);
+uint64_t softDiv64(uint64_t a, uint64_t b, uint8_t &flags);
+uint64_t softSqrt64(uint64_t a, uint8_t &flags);
+
+} // namespace minjie::fp
+
+#endif // MINJIE_FP_SOFTFLOAT_H

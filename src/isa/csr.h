@@ -1,0 +1,105 @@
+/**
+ * @file
+ * CSR addresses and field masks for the machine/supervisor-mode subset
+ * implemented by both the reference models and the cycle model.
+ */
+
+#ifndef MINJIE_ISA_CSR_H
+#define MINJIE_ISA_CSR_H
+
+#include <cstdint>
+
+namespace minjie::isa {
+
+/** CSR address space (12-bit). */
+enum Csr : uint16_t {
+    // Unprivileged
+    CSR_FFLAGS = 0x001,
+    CSR_FRM = 0x002,
+    CSR_FCSR = 0x003,
+    CSR_CYCLE = 0xc00,
+    CSR_TIME = 0xc01,
+    CSR_INSTRET = 0xc02,
+
+    // Supervisor
+    CSR_SSTATUS = 0x100,
+    CSR_SIE = 0x104,
+    CSR_STVEC = 0x105,
+    CSR_SCOUNTEREN = 0x106,
+    CSR_SSCRATCH = 0x140,
+    CSR_SEPC = 0x141,
+    CSR_SCAUSE = 0x142,
+    CSR_STVAL = 0x143,
+    CSR_SIP = 0x144,
+    CSR_SATP = 0x180,
+
+    // Machine
+    CSR_MVENDORID = 0xf11,
+    CSR_MARCHID = 0xf12,
+    CSR_MIMPID = 0xf13,
+    CSR_MHARTID = 0xf14,
+    CSR_MSTATUS = 0x300,
+    CSR_MISA = 0x301,
+    CSR_MEDELEG = 0x302,
+    CSR_MIDELEG = 0x303,
+    CSR_MIE = 0x304,
+    CSR_MTVEC = 0x305,
+    CSR_MCOUNTEREN = 0x306,
+    CSR_MSCRATCH = 0x340,
+    CSR_MEPC = 0x341,
+    CSR_MCAUSE = 0x342,
+    CSR_MTVAL = 0x343,
+    CSR_MIP = 0x344,
+    CSR_PMPCFG0 = 0x3a0,
+    CSR_PMPADDR0 = 0x3b0,
+    CSR_MCYCLE = 0xb00,
+    CSR_MINSTRET = 0xb02,
+    CSR_MHPMCOUNTER3 = 0xb03,
+    CSR_MHPMEVENT3 = 0x323,
+    CSR_TSELECT = 0x7a0,
+    CSR_TDATA1 = 0x7a1,
+};
+
+// mstatus fields.
+constexpr uint64_t MSTATUS_SIE = 1ULL << 1;
+constexpr uint64_t MSTATUS_MIE = 1ULL << 3;
+constexpr uint64_t MSTATUS_SPIE = 1ULL << 5;
+constexpr uint64_t MSTATUS_MPIE = 1ULL << 7;
+constexpr uint64_t MSTATUS_SPP = 1ULL << 8;
+constexpr uint64_t MSTATUS_MPP = 3ULL << 11;
+constexpr uint64_t MSTATUS_FS = 3ULL << 13;
+constexpr uint64_t MSTATUS_MPRV = 1ULL << 17;
+constexpr uint64_t MSTATUS_SUM = 1ULL << 18;
+constexpr uint64_t MSTATUS_MXR = 1ULL << 19;
+constexpr uint64_t MSTATUS_TVM = 1ULL << 20;
+constexpr uint64_t MSTATUS_TW = 1ULL << 21;
+constexpr uint64_t MSTATUS_TSR = 1ULL << 22;
+constexpr uint64_t MSTATUS_UXL = 3ULL << 32;
+constexpr uint64_t MSTATUS_SXL = 3ULL << 34;
+constexpr uint64_t MSTATUS_SD = 1ULL << 63;
+
+// mip/mie bits.
+constexpr uint64_t MIP_SSIP = 1ULL << 1;
+constexpr uint64_t MIP_MSIP = 1ULL << 3;
+constexpr uint64_t MIP_STIP = 1ULL << 5;
+constexpr uint64_t MIP_MTIP = 1ULL << 7;
+constexpr uint64_t MIP_SEIP = 1ULL << 9;
+constexpr uint64_t MIP_MEIP = 1ULL << 11;
+
+// satp fields (Sv39).
+constexpr uint64_t SATP_MODE_SHIFT = 60;
+constexpr uint64_t SATP_MODE_BARE = 0;
+constexpr uint64_t SATP_MODE_SV39 = 8;
+constexpr uint64_t SATP_PPN_MASK = (1ULL << 44) - 1;
+
+/** The sstatus view is a masked window onto mstatus. */
+constexpr uint64_t SSTATUS_MASK =
+    MSTATUS_SIE | MSTATUS_SPIE | MSTATUS_SPP | MSTATUS_FS | MSTATUS_SUM |
+    MSTATUS_MXR | MSTATUS_UXL | MSTATUS_SD;
+
+/** Delegable-to-S interrupt bits. */
+constexpr uint64_t SIP_MASK = MIP_SSIP | MIP_STIP | MIP_SEIP;
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_CSR_H

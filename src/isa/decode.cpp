@@ -1,0 +1,695 @@
+#include "isa/decode.h"
+
+#include "common/bitutil.h"
+
+namespace minjie::isa {
+
+namespace {
+
+// Immediate extractors for the base 32-bit formats.
+int64_t immI(uint32_t i) { return sext(bits(i, 31, 20), 12); }
+int64_t
+immS(uint32_t i)
+{
+    return sext((bits(i, 31, 25) << 5) | bits(i, 11, 7), 12);
+}
+int64_t
+immB(uint32_t i)
+{
+    uint64_t v = (bit(i, 31) << 12) | (bit(i, 7) << 11) |
+                 (bits(i, 30, 25) << 5) | (bits(i, 11, 8) << 1);
+    return sext(v, 13);
+}
+int64_t immU(uint32_t i) { return sext(bits(i, 31, 12) << 12, 32); }
+int64_t
+immJ(uint32_t i)
+{
+    uint64_t v = (bit(i, 31) << 20) | (bits(i, 19, 12) << 12) |
+                 (bit(i, 20) << 11) | (bits(i, 30, 21) << 1);
+    return sext(v, 21);
+}
+
+DecodedInst
+make(uint32_t raw, Op op, unsigned rd, unsigned rs1, unsigned rs2,
+     int64_t imm, uint8_t size = 4)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.op = op;
+    di.rd = static_cast<uint8_t>(rd);
+    di.rs1 = static_cast<uint8_t>(rs1);
+    di.rs2 = static_cast<uint8_t>(rs2);
+    di.imm = imm;
+    di.size = size;
+    return di;
+}
+
+DecodedInst
+illegal(uint32_t raw, uint8_t size = 4)
+{
+    DecodedInst di;
+    di.raw = raw;
+    di.size = size;
+    return di;
+}
+
+Op
+decodeOpImm(uint32_t i, unsigned f3)
+{
+    unsigned f6 = static_cast<unsigned>(bits(i, 31, 26));
+    unsigned f7 = static_cast<unsigned>(bits(i, 31, 25));
+    unsigned shtype = static_cast<unsigned>(bits(i, 24, 20));
+    switch (f3) {
+      case 0: return Op::Addi;
+      case 1:
+        if (f6 == 0x00)
+            return Op::Slli;
+        if (f7 == 0x30) {
+            switch (shtype) {
+              case 0: return Op::Clz;
+              case 1: return Op::Ctz;
+              case 2: return Op::Cpop;
+              case 4: return Op::SextB;
+              case 5: return Op::SextH;
+            }
+        }
+        return Op::Illegal;
+      case 2: return Op::Slti;
+      case 3: return Op::Sltiu;
+      case 4: return Op::Xori;
+      case 5:
+        if (f6 == 0x00)
+            return Op::Srli;
+        if (f6 == 0x10)
+            return Op::Srai;
+        if (f6 == 0x18)
+            return Op::Rori;
+        if (bits(i, 31, 20) == 0x287)
+            return Op::OrcB;
+        if (bits(i, 31, 20) == 0x6b8)
+            return Op::Rev8;
+        return Op::Illegal;
+      case 6: return Op::Ori;
+      case 7: return Op::Andi;
+    }
+    return Op::Illegal;
+}
+
+Op
+decodeOp(unsigned f7, unsigned f3)
+{
+    switch (f7) {
+      case 0x00:
+        switch (f3) {
+          case 0: return Op::Add;
+          case 1: return Op::Sll;
+          case 2: return Op::Slt;
+          case 3: return Op::Sltu;
+          case 4: return Op::Xor;
+          case 5: return Op::Srl;
+          case 6: return Op::Or;
+          case 7: return Op::And;
+        }
+        break;
+      case 0x20:
+        switch (f3) {
+          case 0: return Op::Sub;
+          case 4: return Op::Xnor;
+          case 5: return Op::Sra;
+          case 6: return Op::Orn;
+          case 7: return Op::Andn;
+        }
+        break;
+      case 0x01:
+        switch (f3) {
+          case 0: return Op::Mul;
+          case 1: return Op::Mulh;
+          case 2: return Op::Mulhsu;
+          case 3: return Op::Mulhu;
+          case 4: return Op::Div;
+          case 5: return Op::Divu;
+          case 6: return Op::Rem;
+          case 7: return Op::Remu;
+        }
+        break;
+      case 0x10:
+        switch (f3) {
+          case 2: return Op::Sh1add;
+          case 4: return Op::Sh2add;
+          case 6: return Op::Sh3add;
+        }
+        break;
+      case 0x05:
+        switch (f3) {
+          case 4: return Op::Min;
+          case 5: return Op::Minu;
+          case 6: return Op::Max;
+          case 7: return Op::Maxu;
+        }
+        break;
+      case 0x30:
+        switch (f3) {
+          case 1: return Op::Rol;
+          case 5: return Op::Ror;
+        }
+        break;
+    }
+    return Op::Illegal;
+}
+
+Op
+decodeOp32(uint32_t i, unsigned f7, unsigned f3)
+{
+    switch (f7) {
+      case 0x00:
+        switch (f3) {
+          case 0: return Op::Addw;
+          case 1: return Op::Sllw;
+          case 5: return Op::Srlw;
+        }
+        break;
+      case 0x20:
+        switch (f3) {
+          case 0: return Op::Subw;
+          case 5: return Op::Sraw;
+        }
+        break;
+      case 0x01:
+        switch (f3) {
+          case 0: return Op::Mulw;
+          case 4: return Op::Divw;
+          case 5: return Op::Divuw;
+          case 6: return Op::Remw;
+          case 7: return Op::Remuw;
+        }
+        break;
+      case 0x04:
+        if (f3 == 0)
+            return Op::AddUw;
+        if (f3 == 4 && bits(i, 24, 20) == 0)
+            return Op::ZextH;
+        break;
+      case 0x10:
+        switch (f3) {
+          case 2: return Op::Sh1addUw;
+          case 4: return Op::Sh2addUw;
+          case 6: return Op::Sh3addUw;
+        }
+        break;
+      case 0x30:
+        switch (f3) {
+          case 1: return Op::Rolw;
+          case 5: return Op::Rorw;
+        }
+        break;
+    }
+    return Op::Illegal;
+}
+
+Op
+decodeAmo(unsigned f5, bool dbl)
+{
+    switch (f5) {
+      case 0x02: return dbl ? Op::LrD : Op::LrW;
+      case 0x03: return dbl ? Op::ScD : Op::ScW;
+      case 0x01: return dbl ? Op::AmoSwapD : Op::AmoSwapW;
+      case 0x00: return dbl ? Op::AmoAddD : Op::AmoAddW;
+      case 0x04: return dbl ? Op::AmoXorD : Op::AmoXorW;
+      case 0x0c: return dbl ? Op::AmoAndD : Op::AmoAndW;
+      case 0x08: return dbl ? Op::AmoOrD : Op::AmoOrW;
+      case 0x10: return dbl ? Op::AmoMinD : Op::AmoMinW;
+      case 0x14: return dbl ? Op::AmoMaxD : Op::AmoMaxW;
+      case 0x18: return dbl ? Op::AmoMinuD : Op::AmoMinuW;
+      case 0x1c: return dbl ? Op::AmoMaxuD : Op::AmoMaxuW;
+    }
+    return Op::Illegal;
+}
+
+Op
+decodeOpFp(uint32_t i, unsigned f7, unsigned f3, unsigned rs2)
+{
+    switch (f7) {
+      case 0x00: return Op::FaddS;
+      case 0x01: return Op::FaddD;
+      case 0x04: return Op::FsubS;
+      case 0x05: return Op::FsubD;
+      case 0x08: return Op::FmulS;
+      case 0x09: return Op::FmulD;
+      case 0x0c: return Op::FdivS;
+      case 0x0d: return Op::FdivD;
+      case 0x2c: return rs2 == 0 ? Op::FsqrtS : Op::Illegal;
+      case 0x2d: return rs2 == 0 ? Op::FsqrtD : Op::Illegal;
+      case 0x10:
+        switch (f3) {
+          case 0: return Op::FsgnjS;
+          case 1: return Op::FsgnjnS;
+          case 2: return Op::FsgnjxS;
+        }
+        break;
+      case 0x11:
+        switch (f3) {
+          case 0: return Op::FsgnjD;
+          case 1: return Op::FsgnjnD;
+          case 2: return Op::FsgnjxD;
+        }
+        break;
+      case 0x14: return f3 == 0 ? Op::FminS : (f3 == 1 ? Op::FmaxS : Op::Illegal);
+      case 0x15: return f3 == 0 ? Op::FminD : (f3 == 1 ? Op::FmaxD : Op::Illegal);
+      case 0x50:
+        switch (f3) {
+          case 2: return Op::FeqS;
+          case 1: return Op::FltS;
+          case 0: return Op::FleS;
+        }
+        break;
+      case 0x51:
+        switch (f3) {
+          case 2: return Op::FeqD;
+          case 1: return Op::FltD;
+          case 0: return Op::FleD;
+        }
+        break;
+      case 0x60:
+        switch (rs2) {
+          case 0: return Op::FcvtWS;
+          case 1: return Op::FcvtWuS;
+          case 2: return Op::FcvtLS;
+          case 3: return Op::FcvtLuS;
+        }
+        break;
+      case 0x61:
+        switch (rs2) {
+          case 0: return Op::FcvtWD;
+          case 1: return Op::FcvtWuD;
+          case 2: return Op::FcvtLD;
+          case 3: return Op::FcvtLuD;
+        }
+        break;
+      case 0x68:
+        switch (rs2) {
+          case 0: return Op::FcvtSW;
+          case 1: return Op::FcvtSWu;
+          case 2: return Op::FcvtSL;
+          case 3: return Op::FcvtSLu;
+        }
+        break;
+      case 0x69:
+        switch (rs2) {
+          case 0: return Op::FcvtDW;
+          case 1: return Op::FcvtDWu;
+          case 2: return Op::FcvtDL;
+          case 3: return Op::FcvtDLu;
+        }
+        break;
+      case 0x20: return rs2 == 1 ? Op::FcvtSD : Op::Illegal;
+      case 0x21: return rs2 == 0 ? Op::FcvtDS : Op::Illegal;
+      case 0x70:
+        if (f3 == 0 && rs2 == 0)
+            return Op::FmvXW;
+        if (f3 == 1 && rs2 == 0)
+            return Op::FclassS;
+        break;
+      case 0x71:
+        if (f3 == 0 && rs2 == 0)
+            return Op::FmvXD;
+        if (f3 == 1 && rs2 == 0)
+            return Op::FclassD;
+        break;
+      case 0x78: return (f3 == 0 && rs2 == 0) ? Op::FmvWX : Op::Illegal;
+      case 0x79: return (f3 == 0 && rs2 == 0) ? Op::FmvDX : Op::Illegal;
+    }
+    return Op::Illegal;
+}
+
+} // namespace
+
+DecodedInst
+decode32(uint32_t i)
+{
+    unsigned opcode = static_cast<unsigned>(bits(i, 6, 0));
+    unsigned rd = static_cast<unsigned>(bits(i, 11, 7));
+    unsigned rs1 = static_cast<unsigned>(bits(i, 19, 15));
+    unsigned rs2 = static_cast<unsigned>(bits(i, 24, 20));
+    unsigned f3 = static_cast<unsigned>(bits(i, 14, 12));
+    unsigned f7 = static_cast<unsigned>(bits(i, 31, 25));
+
+    switch (opcode) {
+      case 0x37: return make(i, Op::Lui, rd, 0, 0, immU(i));
+      case 0x17: return make(i, Op::Auipc, rd, 0, 0, immU(i));
+      case 0x6f: return make(i, Op::Jal, rd, 0, 0, immJ(i));
+      case 0x67:
+        return f3 == 0 ? make(i, Op::Jalr, rd, rs1, 0, immI(i))
+                       : illegal(i);
+      case 0x63: {
+        static const Op branches[8] = {Op::Beq, Op::Bne, Op::Illegal,
+                                       Op::Illegal, Op::Blt, Op::Bge,
+                                       Op::Bltu, Op::Bgeu};
+        Op op = branches[f3];
+        return op == Op::Illegal ? illegal(i)
+                                 : make(i, op, 0, rs1, rs2, immB(i));
+      }
+      case 0x03: {
+        static const Op loads[8] = {Op::Lb, Op::Lh, Op::Lw, Op::Ld,
+                                    Op::Lbu, Op::Lhu, Op::Lwu, Op::Illegal};
+        Op op = loads[f3];
+        return op == Op::Illegal ? illegal(i)
+                                 : make(i, op, rd, rs1, 0, immI(i));
+      }
+      case 0x23: {
+        static const Op stores[8] = {Op::Sb, Op::Sh, Op::Sw, Op::Sd,
+                                     Op::Illegal, Op::Illegal, Op::Illegal,
+                                     Op::Illegal};
+        Op op = stores[f3];
+        return op == Op::Illegal ? illegal(i)
+                                 : make(i, op, 0, rs1, rs2, immS(i));
+      }
+      case 0x13: {
+        Op op = decodeOpImm(i, f3);
+        if (op == Op::Illegal)
+            return illegal(i);
+        int64_t imm = immI(i);
+        if (op == Op::Slli || op == Op::Srli || op == Op::Srai ||
+            op == Op::Rori) {
+            imm = static_cast<int64_t>(bits(i, 25, 20)); // 6-bit shamt
+        } else if (op == Op::Clz || op == Op::Ctz || op == Op::Cpop ||
+                   op == Op::SextB || op == Op::SextH || op == Op::OrcB ||
+                   op == Op::Rev8) {
+            imm = 0;
+        }
+        return make(i, op, rd, rs1, 0, imm);
+      }
+      case 0x1b: {
+        switch (f3) {
+          case 0: return make(i, Op::Addiw, rd, rs1, 0, immI(i));
+          case 1:
+            if (bits(i, 31, 25) == 0x00)
+                return make(i, Op::Slliw, rd, rs1, 0,
+                            static_cast<int64_t>(bits(i, 24, 20)));
+            if (bits(i, 31, 26) == 0x02)
+                return make(i, Op::SlliUw, rd, rs1, 0,
+                            static_cast<int64_t>(bits(i, 25, 20)));
+            if (bits(i, 31, 25) == 0x30) {
+                switch (rs2) {
+                  case 0: return make(i, Op::Clzw, rd, rs1, 0, 0);
+                  case 1: return make(i, Op::Ctzw, rd, rs1, 0, 0);
+                  case 2: return make(i, Op::Cpopw, rd, rs1, 0, 0);
+                }
+            }
+            return illegal(i);
+          case 5:
+            if (f7 == 0x00)
+                return make(i, Op::Srliw, rd, rs1, 0,
+                            static_cast<int64_t>(bits(i, 24, 20)));
+            if (f7 == 0x20)
+                return make(i, Op::Sraiw, rd, rs1, 0,
+                            static_cast<int64_t>(bits(i, 24, 20)));
+            if (f7 == 0x30)
+                return make(i, Op::Roriw, rd, rs1, 0,
+                            static_cast<int64_t>(bits(i, 24, 20)));
+            return illegal(i);
+        }
+        return illegal(i);
+      }
+      case 0x33: {
+        Op op = decodeOp(f7, f3);
+        return op == Op::Illegal ? illegal(i) : make(i, op, rd, rs1, rs2, 0);
+      }
+      case 0x3b: {
+        Op op = decodeOp32(i, f7, f3);
+        return op == Op::Illegal ? illegal(i) : make(i, op, rd, rs1, rs2, 0);
+      }
+      case 0x0f:
+        if (f3 == 0)
+            return make(i, Op::Fence, rd, rs1, 0, immI(i));
+        if (f3 == 1)
+            return make(i, Op::FenceI, rd, rs1, 0, immI(i));
+        return illegal(i);
+      case 0x73: {
+        if (f3 == 0) {
+            uint64_t f12 = bits(i, 31, 20);
+            if (f7 == 0x09)
+                return make(i, Op::SfenceVma, 0, rs1, rs2, 0);
+            if (rd != 0 || rs1 != 0)
+                return illegal(i);
+            switch (f12) {
+              case 0x000: return make(i, Op::Ecall, 0, 0, 0, 0);
+              case 0x001: return make(i, Op::Ebreak, 0, 0, 0, 0);
+              case 0x102: return make(i, Op::Sret, 0, 0, 0, 0);
+              case 0x302: return make(i, Op::Mret, 0, 0, 0, 0);
+              case 0x105: return make(i, Op::Wfi, 0, 0, 0, 0);
+            }
+            return illegal(i);
+        }
+        static const Op csrs[8] = {Op::Illegal, Op::Csrrw, Op::Csrrs,
+                                   Op::Csrrc, Op::Illegal, Op::Csrrwi,
+                                   Op::Csrrsi, Op::Csrrci};
+        Op op = csrs[f3];
+        if (op == Op::Illegal)
+            return illegal(i);
+        // imm carries the CSR number; rs1 carries the zimm for *i forms.
+        return make(i, op, rd, rs1, 0,
+                    static_cast<int64_t>(bits(i, 31, 20)));
+      }
+      case 0x2f: {
+        if (f3 != 2 && f3 != 3)
+            return illegal(i);
+        Op op = decodeAmo(static_cast<unsigned>(bits(i, 31, 27)), f3 == 3);
+        return op == Op::Illegal ? illegal(i) : make(i, op, rd, rs1, rs2, 0);
+      }
+      case 0x07:
+        if (f3 == 2)
+            return make(i, Op::Flw, rd, rs1, 0, immI(i));
+        if (f3 == 3)
+            return make(i, Op::Fld, rd, rs1, 0, immI(i));
+        return illegal(i);
+      case 0x27:
+        if (f3 == 2)
+            return make(i, Op::Fsw, 0, rs1, rs2, immS(i));
+        if (f3 == 3)
+            return make(i, Op::Fsd, 0, rs1, rs2, immS(i));
+        return illegal(i);
+      case 0x53: {
+        Op op = decodeOpFp(i, f7, f3, rs2);
+        if (op == Op::Illegal)
+            return illegal(i);
+        DecodedInst di = make(i, op, rd, rs1, rs2, 0);
+        di.rm = static_cast<uint8_t>(f3);
+        return di;
+      }
+      case 0x43: case 0x47: case 0x4b: case 0x4f: {
+        unsigned fmt = static_cast<unsigned>(bits(i, 26, 25));
+        if (fmt > 1)
+            return illegal(i);
+        static const Op fmas[4][2] = {
+            {Op::FmaddS, Op::FmaddD}, {Op::FmsubS, Op::FmsubD},
+            {Op::FnmsubS, Op::FnmsubD}, {Op::FnmaddS, Op::FnmaddD}};
+        DecodedInst di = make(i, fmas[(opcode >> 2) & 3][fmt], rd, rs1,
+                              rs2, 0);
+        di.rs3 = static_cast<uint8_t>(bits(i, 31, 27));
+        di.rm = static_cast<uint8_t>(f3);
+        return di;
+      }
+    }
+    return illegal(i);
+}
+
+DecodedInst
+decode16(uint16_t c)
+{
+    unsigned quad = c & 0x3;
+    unsigned f3 = static_cast<unsigned>(bits(c, 15, 13));
+    // Registers in the compressed 3-bit fields map to x8..x15.
+    unsigned rdp = 8 + static_cast<unsigned>(bits(c, 4, 2));
+    unsigned rs1p = 8 + static_cast<unsigned>(bits(c, 9, 7));
+    unsigned rdFull = static_cast<unsigned>(bits(c, 11, 7));
+    unsigned rs2Full = static_cast<unsigned>(bits(c, 6, 2));
+
+    auto ok = [c](Op op, unsigned rd, unsigned rs1, unsigned rs2,
+                  int64_t imm) {
+        return make(c, op, rd, rs1, rs2, imm, 2);
+    };
+
+    if (c == 0)
+        return illegal(c, 2);
+
+    switch (quad) {
+      case 0:
+        switch (f3) {
+          case 0: { // c.addi4spn
+            uint64_t imm = (bits(c, 10, 7) << 6) | (bits(c, 12, 11) << 4) |
+                           (bit(c, 5) << 3) | (bit(c, 6) << 2);
+            if (imm == 0)
+                return illegal(c, 2);
+            return ok(Op::Addi, rdp, 2, 0, static_cast<int64_t>(imm));
+          }
+          case 1: { // c.fld
+            uint64_t imm = (bits(c, 6, 5) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Fld, rdp, rs1p, 0, static_cast<int64_t>(imm));
+          }
+          case 2: { // c.lw
+            uint64_t imm = (bit(c, 5) << 6) | (bits(c, 12, 10) << 3) |
+                           (bit(c, 6) << 2);
+            return ok(Op::Lw, rdp, rs1p, 0, static_cast<int64_t>(imm));
+          }
+          case 3: { // c.ld
+            uint64_t imm = (bits(c, 6, 5) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Ld, rdp, rs1p, 0, static_cast<int64_t>(imm));
+          }
+          case 5: { // c.fsd
+            uint64_t imm = (bits(c, 6, 5) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Fsd, 0, rs1p, rdp, static_cast<int64_t>(imm));
+          }
+          case 6: { // c.sw
+            uint64_t imm = (bit(c, 5) << 6) | (bits(c, 12, 10) << 3) |
+                           (bit(c, 6) << 2);
+            return ok(Op::Sw, 0, rs1p, rdp, static_cast<int64_t>(imm));
+          }
+          case 7: { // c.sd
+            uint64_t imm = (bits(c, 6, 5) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Sd, 0, rs1p, rdp, static_cast<int64_t>(imm));
+          }
+        }
+        return illegal(c, 2);
+
+      case 1:
+        switch (f3) {
+          case 0: { // c.addi / c.nop
+            int64_t imm = sext((bit(c, 12) << 5) | bits(c, 6, 2), 6);
+            return ok(Op::Addi, rdFull, rdFull, 0, imm);
+          }
+          case 1: { // c.addiw
+            if (rdFull == 0)
+                return illegal(c, 2);
+            int64_t imm = sext((bit(c, 12) << 5) | bits(c, 6, 2), 6);
+            return ok(Op::Addiw, rdFull, rdFull, 0, imm);
+          }
+          case 2: { // c.li
+            int64_t imm = sext((bit(c, 12) << 5) | bits(c, 6, 2), 6);
+            return ok(Op::Addi, rdFull, 0, 0, imm);
+          }
+          case 3: {
+            if (rdFull == 2) { // c.addi16sp
+                int64_t imm = sext((bit(c, 12) << 9) | (bits(c, 4, 3) << 7) |
+                                   (bit(c, 5) << 6) | (bit(c, 2) << 5) |
+                                   (bit(c, 6) << 4), 10);
+                if (imm == 0)
+                    return illegal(c, 2);
+                return ok(Op::Addi, 2, 2, 0, imm);
+            }
+            // c.lui
+            int64_t imm = sext((bit(c, 12) << 17) | (bits(c, 6, 2) << 12),
+                               18);
+            if (imm == 0)
+                return illegal(c, 2);
+            return ok(Op::Lui, rdFull, 0, 0, imm);
+          }
+          case 4: {
+            unsigned sub = static_cast<unsigned>(bits(c, 11, 10));
+            if (sub == 0 || sub == 1) { // c.srli / c.srai
+                int64_t shamt = static_cast<int64_t>((bit(c, 12) << 5) |
+                                                     bits(c, 6, 2));
+                return ok(sub == 0 ? Op::Srli : Op::Srai, rs1p, rs1p, 0,
+                          shamt);
+            }
+            if (sub == 2) { // c.andi
+                int64_t imm = sext((bit(c, 12) << 5) | bits(c, 6, 2), 6);
+                return ok(Op::Andi, rs1p, rs1p, 0, imm);
+            }
+            unsigned rs2 = 8 + static_cast<unsigned>(bits(c, 4, 2));
+            unsigned f2 = static_cast<unsigned>(bits(c, 6, 5));
+            if (bit(c, 12) == 0) {
+                static const Op ops[4] = {Op::Sub, Op::Xor, Op::Or, Op::And};
+                return ok(ops[f2], rs1p, rs1p, rs2, 0);
+            }
+            if (f2 == 0)
+                return ok(Op::Subw, rs1p, rs1p, rs2, 0);
+            if (f2 == 1)
+                return ok(Op::Addw, rs1p, rs1p, rs2, 0);
+            return illegal(c, 2);
+          }
+          case 5: { // c.j
+            int64_t imm = sext((bit(c, 12) << 11) | (bit(c, 8) << 10) |
+                               (bits(c, 10, 9) << 8) | (bit(c, 6) << 7) |
+                               (bit(c, 7) << 6) | (bit(c, 2) << 5) |
+                               (bit(c, 11) << 4) | (bits(c, 5, 3) << 1),
+                               12);
+            return ok(Op::Jal, 0, 0, 0, imm);
+          }
+          case 6: case 7: { // c.beqz / c.bnez
+            int64_t imm = sext((bit(c, 12) << 8) | (bits(c, 6, 5) << 6) |
+                               (bit(c, 2) << 5) | (bits(c, 11, 10) << 3) |
+                               (bits(c, 4, 3) << 1), 9);
+            return ok(f3 == 6 ? Op::Beq : Op::Bne, 0, rs1p, 0, imm);
+          }
+        }
+        return illegal(c, 2);
+
+      case 2:
+        switch (f3) {
+          case 0: { // c.slli
+            int64_t shamt = static_cast<int64_t>((bit(c, 12) << 5) |
+                                                 bits(c, 6, 2));
+            return ok(Op::Slli, rdFull, rdFull, 0, shamt);
+          }
+          case 1: { // c.fldsp
+            uint64_t imm = (bits(c, 4, 2) << 6) | (bit(c, 12) << 5) |
+                           (bits(c, 6, 5) << 3);
+            return ok(Op::Fld, rdFull, 2, 0, static_cast<int64_t>(imm));
+          }
+          case 2: { // c.lwsp
+            if (rdFull == 0)
+                return illegal(c, 2);
+            uint64_t imm = (bits(c, 3, 2) << 6) | (bit(c, 12) << 5) |
+                           (bits(c, 6, 4) << 2);
+            return ok(Op::Lw, rdFull, 2, 0, static_cast<int64_t>(imm));
+          }
+          case 3: { // c.ldsp
+            if (rdFull == 0)
+                return illegal(c, 2);
+            uint64_t imm = (bits(c, 4, 2) << 6) | (bit(c, 12) << 5) |
+                           (bits(c, 6, 5) << 3);
+            return ok(Op::Ld, rdFull, 2, 0, static_cast<int64_t>(imm));
+          }
+          case 4: {
+            if (bit(c, 12) == 0) {
+                if (rs2Full == 0) { // c.jr
+                    if (rdFull == 0)
+                        return illegal(c, 2);
+                    return ok(Op::Jalr, 0, rdFull, 0, 0);
+                }
+                return ok(Op::Add, rdFull, 0, rs2Full, 0); // c.mv
+            }
+            if (rs2Full == 0) {
+                if (rdFull == 0)
+                    return ok(Op::Ebreak, 0, 0, 0, 0); // c.ebreak
+                return ok(Op::Jalr, 1, rdFull, 0, 0);  // c.jalr
+            }
+            return ok(Op::Add, rdFull, rdFull, rs2Full, 0); // c.add
+          }
+          case 5: { // c.fsdsp
+            uint64_t imm = (bits(c, 9, 7) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Fsd, 0, 2, rs2Full, static_cast<int64_t>(imm));
+          }
+          case 6: { // c.swsp
+            uint64_t imm = (bits(c, 8, 7) << 6) | (bits(c, 12, 9) << 2);
+            return ok(Op::Sw, 0, 2, rs2Full, static_cast<int64_t>(imm));
+          }
+          case 7: { // c.sdsp
+            uint64_t imm = (bits(c, 9, 7) << 6) | (bits(c, 12, 10) << 3);
+            return ok(Op::Sd, 0, 2, rs2Full, static_cast<int64_t>(imm));
+          }
+        }
+        return illegal(c, 2);
+    }
+    return illegal(c, 2);
+}
+
+DecodedInst
+decode(uint32_t raw)
+{
+    if (isCompressed(raw))
+        return decode16(static_cast<uint16_t>(raw));
+    return decode32(raw);
+}
+
+} // namespace minjie::isa

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * RV64GC(+Zba/Zbb subset) instruction decoder.
+ */
+
+#ifndef MINJIE_ISA_DECODE_H
+#define MINJIE_ISA_DECODE_H
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace minjie::isa {
+
+/** True when the low 16 bits of @p raw begin a compressed instruction. */
+inline bool
+isCompressed(uint32_t raw)
+{
+    return (raw & 0x3) != 0x3;
+}
+
+/**
+ * Decode one instruction starting at the low bits of @p raw.
+ *
+ * Compressed instructions are expanded to their base-ISA equivalent with
+ * DecodedInst::size set to 2. Undecodable encodings yield Op::Illegal.
+ */
+DecodedInst decode(uint32_t raw);
+
+/** Decode a 32-bit (uncompressed) encoding. */
+DecodedInst decode32(uint32_t raw);
+
+/** Decode and expand a 16-bit compressed encoding. */
+DecodedInst decode16(uint16_t raw);
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_DECODE_H

@@ -1,0 +1,82 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace minjie::isa {
+
+const char *
+regName(unsigned reg)
+{
+    static const char *names[32] = {
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+        "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+        "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+        "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+    return reg < 32 ? names[reg] : "x?";
+}
+
+const char *
+fregName(unsigned reg)
+{
+    static const char *names[32] = {
+        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+        "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+        "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+        "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11"};
+    return reg < 32 ? names[reg] : "f?";
+}
+
+std::string
+disasm(const DecodedInst &di)
+{
+    char buf[96];
+    Op op = di.op;
+    const char *rd = writesFpRd(op) ? fregName(di.rd) : regName(di.rd);
+    const char *rs1 = readsFpRs1(op) ? fregName(di.rs1) : regName(di.rs1);
+    const char *rs2 = readsFpRs2(op) ? fregName(di.rs2) : regName(di.rs2);
+
+    if (op == Op::Illegal) {
+        std::snprintf(buf, sizeof(buf), ".word 0x%08x", di.raw);
+    } else if (isLoad(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %lld(%s)", opName(op), rd,
+                      static_cast<long long>(di.imm), rs1);
+    } else if (isStore(op) && !isSc(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %lld(%s)", opName(op), rs2,
+                      static_cast<long long>(di.imm), rs1);
+    } else if (isAmo(op) || isSc(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %s, (%s)", opName(op), rd,
+                      rs2, rs1);
+    } else if (isCondBranch(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %s, %+lld", opName(op),
+                      rs1, rs2, static_cast<long long>(di.imm));
+    } else if (op == Op::Jal) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %+lld", opName(op), rd,
+                      static_cast<long long>(di.imm));
+    } else if (op == Op::Jalr) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %lld(%s)", opName(op), rd,
+                      static_cast<long long>(di.imm), rs1);
+    } else if (op == Op::Lui || op == Op::Auipc) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, 0x%llx", opName(op), rd,
+                      static_cast<unsigned long long>(di.imm) >> 12);
+    } else if (isCsr(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, 0x%03llx, %s", opName(op),
+                      rd, static_cast<unsigned long long>(di.imm),
+                      op >= Op::Csrrwi ? std::to_string(di.rs1).c_str()
+                                       : rs1);
+    } else if (hasRs3(op)) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %s, %s, %s", opName(op),
+                      rd, rs1, rs2, fregName(di.rs3));
+    } else if (di.imm != 0 || op == Op::Addi || op == Op::Slti ||
+               op == Op::Sltiu || op == Op::Xori || op == Op::Ori ||
+               op == Op::Andi || op == Op::Addiw || op == Op::Slli ||
+               op == Op::Srli || op == Op::Srai) {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %s, %lld", opName(op), rd,
+                      rs1, static_cast<long long>(di.imm));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%-8s %s, %s, %s", opName(op), rd,
+                      rs1, rs2);
+    }
+    return buf;
+}
+
+} // namespace minjie::isa

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Tiny disassembler for trace output and ArchDB records.
+ */
+
+#ifndef MINJIE_ISA_DISASM_H
+#define MINJIE_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/inst.h"
+
+namespace minjie::isa {
+
+/** Render @p di as "mnemonic rd, rs1, rs2/imm". */
+std::string disasm(const DecodedInst &di);
+
+/** Canonical RISC-V ABI name for integer register @p reg. */
+const char *regName(unsigned reg);
+
+/** ABI name for fp register @p reg. */
+const char *fregName(unsigned reg);
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_DISASM_H

@@ -1,0 +1,308 @@
+#include "isa/encode.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace minjie::isa {
+
+namespace {
+
+uint32_t
+encR(unsigned opcode, unsigned f3, unsigned f7, unsigned rd, unsigned rs1,
+     unsigned rs2)
+{
+    return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (f7 << 25);
+}
+
+uint32_t
+encI(unsigned opcode, unsigned f3, unsigned rd, unsigned rs1, int64_t imm)
+{
+    return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) |
+           (static_cast<uint32_t>(imm & 0xfff) << 20);
+}
+
+uint32_t
+encS(unsigned opcode, unsigned f3, unsigned rs1, unsigned rs2, int64_t imm)
+{
+    uint32_t i = static_cast<uint32_t>(imm & 0xfff);
+    return opcode | ((i & 0x1f) << 7) | (f3 << 12) | (rs1 << 15) |
+           (rs2 << 20) | ((i >> 5) << 25);
+}
+
+uint32_t
+encB(unsigned opcode, unsigned f3, unsigned rs1, unsigned rs2, int64_t imm)
+{
+    uint32_t i = static_cast<uint32_t>(imm & 0x1fff);
+    return opcode | (((i >> 11) & 1) << 7) | (((i >> 1) & 0xf) << 8) |
+           (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+           (((i >> 5) & 0x3f) << 25) | (((i >> 12) & 1) << 31);
+}
+
+uint32_t
+encU(unsigned opcode, unsigned rd, int64_t imm)
+{
+    return opcode | (rd << 7) |
+           (static_cast<uint32_t>((imm >> 12) & 0xfffff) << 12);
+}
+
+uint32_t
+encJ(unsigned opcode, unsigned rd, int64_t imm)
+{
+    uint32_t i = static_cast<uint32_t>(imm & 0x1fffff);
+    return opcode | (rd << 7) | (((i >> 12) & 0xff) << 12) |
+           (((i >> 11) & 1) << 20) | (((i >> 1) & 0x3ff) << 21) |
+           (((i >> 20) & 1) << 31);
+}
+
+uint32_t
+encShift(unsigned f3, unsigned f6, unsigned rd, unsigned rs1, int64_t shamt)
+{
+    return encI(0x13, f3, rd, rs1,
+                static_cast<int64_t>((f6 << 6) | (shamt & 0x3f)));
+}
+
+uint32_t
+encShiftW(unsigned f3, unsigned f7, unsigned rd, unsigned rs1, int64_t shamt)
+{
+    return encI(0x1b, f3, rd, rs1,
+                static_cast<int64_t>((f7 << 5) | (shamt & 0x1f)));
+}
+
+uint32_t
+encAmo(unsigned f5, unsigned f3, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    // aq/rl bits left clear.
+    return encR(0x2f, f3, f5 << 2, rd, rs1, rs2);
+}
+
+uint32_t
+encFpR(unsigned f7, unsigned rm, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    return encR(0x53, rm, f7, rd, rs1, rs2);
+}
+
+uint32_t
+encFma(unsigned opcode, unsigned fmt, const DecodedInst &di)
+{
+    return opcode | (di.rd << 7) | (di.rm << 12) | (di.rs1 << 15) |
+           (di.rs2 << 20) | (fmt << 25) |
+           (static_cast<uint32_t>(di.rs3) << 27);
+}
+
+uint32_t
+encUnary(unsigned opcode, unsigned f3, unsigned f7, unsigned sub,
+         unsigned rd, unsigned rs1)
+{
+    return encR(opcode, f3, f7, rd, rs1, sub);
+}
+
+} // namespace
+
+uint32_t
+encode(const DecodedInst &di)
+{
+    unsigned rd = di.rd, rs1 = di.rs1, rs2 = di.rs2;
+    int64_t imm = di.imm;
+    switch (di.op) {
+      case Op::Lui: return encU(0x37, rd, imm);
+      case Op::Auipc: return encU(0x17, rd, imm);
+      case Op::Jal: return encJ(0x6f, rd, imm);
+      case Op::Jalr: return encI(0x67, 0, rd, rs1, imm);
+      case Op::Beq: return encB(0x63, 0, rs1, rs2, imm);
+      case Op::Bne: return encB(0x63, 1, rs1, rs2, imm);
+      case Op::Blt: return encB(0x63, 4, rs1, rs2, imm);
+      case Op::Bge: return encB(0x63, 5, rs1, rs2, imm);
+      case Op::Bltu: return encB(0x63, 6, rs1, rs2, imm);
+      case Op::Bgeu: return encB(0x63, 7, rs1, rs2, imm);
+      case Op::Lb: return encI(0x03, 0, rd, rs1, imm);
+      case Op::Lh: return encI(0x03, 1, rd, rs1, imm);
+      case Op::Lw: return encI(0x03, 2, rd, rs1, imm);
+      case Op::Ld: return encI(0x03, 3, rd, rs1, imm);
+      case Op::Lbu: return encI(0x03, 4, rd, rs1, imm);
+      case Op::Lhu: return encI(0x03, 5, rd, rs1, imm);
+      case Op::Lwu: return encI(0x03, 6, rd, rs1, imm);
+      case Op::Sb: return encS(0x23, 0, rs1, rs2, imm);
+      case Op::Sh: return encS(0x23, 1, rs1, rs2, imm);
+      case Op::Sw: return encS(0x23, 2, rs1, rs2, imm);
+      case Op::Sd: return encS(0x23, 3, rs1, rs2, imm);
+      case Op::Addi: return encI(0x13, 0, rd, rs1, imm);
+      case Op::Slti: return encI(0x13, 2, rd, rs1, imm);
+      case Op::Sltiu: return encI(0x13, 3, rd, rs1, imm);
+      case Op::Xori: return encI(0x13, 4, rd, rs1, imm);
+      case Op::Ori: return encI(0x13, 6, rd, rs1, imm);
+      case Op::Andi: return encI(0x13, 7, rd, rs1, imm);
+      case Op::Slli: return encShift(1, 0x00, rd, rs1, imm);
+      case Op::Srli: return encShift(5, 0x00, rd, rs1, imm);
+      case Op::Srai: return encShift(5, 0x10, rd, rs1, imm);
+      case Op::Rori: return encShift(5, 0x18, rd, rs1, imm);
+      case Op::Add: return encR(0x33, 0, 0x00, rd, rs1, rs2);
+      case Op::Sub: return encR(0x33, 0, 0x20, rd, rs1, rs2);
+      case Op::Sll: return encR(0x33, 1, 0x00, rd, rs1, rs2);
+      case Op::Slt: return encR(0x33, 2, 0x00, rd, rs1, rs2);
+      case Op::Sltu: return encR(0x33, 3, 0x00, rd, rs1, rs2);
+      case Op::Xor: return encR(0x33, 4, 0x00, rd, rs1, rs2);
+      case Op::Srl: return encR(0x33, 5, 0x00, rd, rs1, rs2);
+      case Op::Sra: return encR(0x33, 5, 0x20, rd, rs1, rs2);
+      case Op::Or: return encR(0x33, 6, 0x00, rd, rs1, rs2);
+      case Op::And: return encR(0x33, 7, 0x00, rd, rs1, rs2);
+      case Op::Addiw: return encI(0x1b, 0, rd, rs1, imm);
+      case Op::Slliw: return encShiftW(1, 0x00, rd, rs1, imm);
+      case Op::Srliw: return encShiftW(5, 0x00, rd, rs1, imm);
+      case Op::Sraiw: return encShiftW(5, 0x20, rd, rs1, imm);
+      case Op::Roriw: return encShiftW(5, 0x30, rd, rs1, imm);
+      case Op::Addw: return encR(0x3b, 0, 0x00, rd, rs1, rs2);
+      case Op::Subw: return encR(0x3b, 0, 0x20, rd, rs1, rs2);
+      case Op::Sllw: return encR(0x3b, 1, 0x00, rd, rs1, rs2);
+      case Op::Srlw: return encR(0x3b, 5, 0x00, rd, rs1, rs2);
+      case Op::Sraw: return encR(0x3b, 5, 0x20, rd, rs1, rs2);
+      case Op::Fence: return encI(0x0f, 0, rd, rs1, imm);
+      case Op::FenceI: return encI(0x0f, 1, rd, rs1, imm);
+      case Op::Ecall: return 0x00000073;
+      case Op::Ebreak: return 0x00100073;
+      case Op::Mul: return encR(0x33, 0, 0x01, rd, rs1, rs2);
+      case Op::Mulh: return encR(0x33, 1, 0x01, rd, rs1, rs2);
+      case Op::Mulhsu: return encR(0x33, 2, 0x01, rd, rs1, rs2);
+      case Op::Mulhu: return encR(0x33, 3, 0x01, rd, rs1, rs2);
+      case Op::Div: return encR(0x33, 4, 0x01, rd, rs1, rs2);
+      case Op::Divu: return encR(0x33, 5, 0x01, rd, rs1, rs2);
+      case Op::Rem: return encR(0x33, 6, 0x01, rd, rs1, rs2);
+      case Op::Remu: return encR(0x33, 7, 0x01, rd, rs1, rs2);
+      case Op::Mulw: return encR(0x3b, 0, 0x01, rd, rs1, rs2);
+      case Op::Divw: return encR(0x3b, 4, 0x01, rd, rs1, rs2);
+      case Op::Divuw: return encR(0x3b, 5, 0x01, rd, rs1, rs2);
+      case Op::Remw: return encR(0x3b, 6, 0x01, rd, rs1, rs2);
+      case Op::Remuw: return encR(0x3b, 7, 0x01, rd, rs1, rs2);
+      case Op::LrW: return encAmo(0x02, 2, rd, rs1, 0);
+      case Op::ScW: return encAmo(0x03, 2, rd, rs1, rs2);
+      case Op::AmoSwapW: return encAmo(0x01, 2, rd, rs1, rs2);
+      case Op::AmoAddW: return encAmo(0x00, 2, rd, rs1, rs2);
+      case Op::AmoXorW: return encAmo(0x04, 2, rd, rs1, rs2);
+      case Op::AmoAndW: return encAmo(0x0c, 2, rd, rs1, rs2);
+      case Op::AmoOrW: return encAmo(0x08, 2, rd, rs1, rs2);
+      case Op::AmoMinW: return encAmo(0x10, 2, rd, rs1, rs2);
+      case Op::AmoMaxW: return encAmo(0x14, 2, rd, rs1, rs2);
+      case Op::AmoMinuW: return encAmo(0x18, 2, rd, rs1, rs2);
+      case Op::AmoMaxuW: return encAmo(0x1c, 2, rd, rs1, rs2);
+      case Op::LrD: return encAmo(0x02, 3, rd, rs1, 0);
+      case Op::ScD: return encAmo(0x03, 3, rd, rs1, rs2);
+      case Op::AmoSwapD: return encAmo(0x01, 3, rd, rs1, rs2);
+      case Op::AmoAddD: return encAmo(0x00, 3, rd, rs1, rs2);
+      case Op::AmoXorD: return encAmo(0x04, 3, rd, rs1, rs2);
+      case Op::AmoAndD: return encAmo(0x0c, 3, rd, rs1, rs2);
+      case Op::AmoOrD: return encAmo(0x08, 3, rd, rs1, rs2);
+      case Op::AmoMinD: return encAmo(0x10, 3, rd, rs1, rs2);
+      case Op::AmoMaxD: return encAmo(0x14, 3, rd, rs1, rs2);
+      case Op::AmoMinuD: return encAmo(0x18, 3, rd, rs1, rs2);
+      case Op::AmoMaxuD: return encAmo(0x1c, 3, rd, rs1, rs2);
+      case Op::Flw: return encI(0x07, 2, rd, rs1, imm);
+      case Op::Fld: return encI(0x07, 3, rd, rs1, imm);
+      case Op::Fsw: return encS(0x27, 2, rs1, rs2, imm);
+      case Op::Fsd: return encS(0x27, 3, rs1, rs2, imm);
+      case Op::FaddS: return encFpR(0x00, di.rm, rd, rs1, rs2);
+      case Op::FsubS: return encFpR(0x04, di.rm, rd, rs1, rs2);
+      case Op::FmulS: return encFpR(0x08, di.rm, rd, rs1, rs2);
+      case Op::FdivS: return encFpR(0x0c, di.rm, rd, rs1, rs2);
+      case Op::FsqrtS: return encFpR(0x2c, di.rm, rd, rs1, 0);
+      case Op::FsgnjS: return encFpR(0x10, 0, rd, rs1, rs2);
+      case Op::FsgnjnS: return encFpR(0x10, 1, rd, rs1, rs2);
+      case Op::FsgnjxS: return encFpR(0x10, 2, rd, rs1, rs2);
+      case Op::FminS: return encFpR(0x14, 0, rd, rs1, rs2);
+      case Op::FmaxS: return encFpR(0x14, 1, rd, rs1, rs2);
+      case Op::FcvtWS: return encFpR(0x60, di.rm, rd, rs1, 0);
+      case Op::FcvtWuS: return encFpR(0x60, di.rm, rd, rs1, 1);
+      case Op::FcvtLS: return encFpR(0x60, di.rm, rd, rs1, 2);
+      case Op::FcvtLuS: return encFpR(0x60, di.rm, rd, rs1, 3);
+      case Op::FcvtSW: return encFpR(0x68, di.rm, rd, rs1, 0);
+      case Op::FcvtSWu: return encFpR(0x68, di.rm, rd, rs1, 1);
+      case Op::FcvtSL: return encFpR(0x68, di.rm, rd, rs1, 2);
+      case Op::FcvtSLu: return encFpR(0x68, di.rm, rd, rs1, 3);
+      case Op::FmvXW: return encFpR(0x70, 0, rd, rs1, 0);
+      case Op::FmvWX: return encFpR(0x78, 0, rd, rs1, 0);
+      case Op::FeqS: return encFpR(0x50, 2, rd, rs1, rs2);
+      case Op::FltS: return encFpR(0x50, 1, rd, rs1, rs2);
+      case Op::FleS: return encFpR(0x50, 0, rd, rs1, rs2);
+      case Op::FclassS: return encFpR(0x70, 1, rd, rs1, 0);
+      case Op::FmaddS: return encFma(0x43, 0, di);
+      case Op::FmsubS: return encFma(0x47, 0, di);
+      case Op::FnmsubS: return encFma(0x4b, 0, di);
+      case Op::FnmaddS: return encFma(0x4f, 0, di);
+      case Op::FaddD: return encFpR(0x01, di.rm, rd, rs1, rs2);
+      case Op::FsubD: return encFpR(0x05, di.rm, rd, rs1, rs2);
+      case Op::FmulD: return encFpR(0x09, di.rm, rd, rs1, rs2);
+      case Op::FdivD: return encFpR(0x0d, di.rm, rd, rs1, rs2);
+      case Op::FsqrtD: return encFpR(0x2d, di.rm, rd, rs1, 0);
+      case Op::FsgnjD: return encFpR(0x11, 0, rd, rs1, rs2);
+      case Op::FsgnjnD: return encFpR(0x11, 1, rd, rs1, rs2);
+      case Op::FsgnjxD: return encFpR(0x11, 2, rd, rs1, rs2);
+      case Op::FminD: return encFpR(0x15, 0, rd, rs1, rs2);
+      case Op::FmaxD: return encFpR(0x15, 1, rd, rs1, rs2);
+      case Op::FcvtWD: return encFpR(0x61, di.rm, rd, rs1, 0);
+      case Op::FcvtWuD: return encFpR(0x61, di.rm, rd, rs1, 1);
+      case Op::FcvtLD: return encFpR(0x61, di.rm, rd, rs1, 2);
+      case Op::FcvtLuD: return encFpR(0x61, di.rm, rd, rs1, 3);
+      case Op::FcvtDW: return encFpR(0x69, di.rm, rd, rs1, 0);
+      case Op::FcvtDWu: return encFpR(0x69, di.rm, rd, rs1, 1);
+      case Op::FcvtDL: return encFpR(0x69, di.rm, rd, rs1, 2);
+      case Op::FcvtDLu: return encFpR(0x69, di.rm, rd, rs1, 3);
+      case Op::FcvtSD: return encFpR(0x20, di.rm, rd, rs1, 1);
+      case Op::FcvtDS: return encFpR(0x21, di.rm, rd, rs1, 0);
+      case Op::FmvXD: return encFpR(0x71, 0, rd, rs1, 0);
+      case Op::FmvDX: return encFpR(0x79, 0, rd, rs1, 0);
+      case Op::FeqD: return encFpR(0x51, 2, rd, rs1, rs2);
+      case Op::FltD: return encFpR(0x51, 1, rd, rs1, rs2);
+      case Op::FleD: return encFpR(0x51, 0, rd, rs1, rs2);
+      case Op::FclassD: return encFpR(0x71, 1, rd, rs1, 0);
+      case Op::FmaddD: return encFma(0x43, 1, di);
+      case Op::FmsubD: return encFma(0x47, 1, di);
+      case Op::FnmsubD: return encFma(0x4b, 1, di);
+      case Op::FnmaddD: return encFma(0x4f, 1, di);
+      case Op::Csrrw: return encI(0x73, 1, rd, rs1, imm);
+      case Op::Csrrs: return encI(0x73, 2, rd, rs1, imm);
+      case Op::Csrrc: return encI(0x73, 3, rd, rs1, imm);
+      case Op::Csrrwi: return encI(0x73, 5, rd, rs1, imm);
+      case Op::Csrrsi: return encI(0x73, 6, rd, rs1, imm);
+      case Op::Csrrci: return encI(0x73, 7, rd, rs1, imm);
+      case Op::Mret: return 0x30200073;
+      case Op::Sret: return 0x10200073;
+      case Op::Wfi: return 0x10500073;
+      case Op::SfenceVma: return encR(0x73, 0, 0x09, 0, rs1, rs2);
+      case Op::AddUw: return encR(0x3b, 0, 0x04, rd, rs1, rs2);
+      case Op::Sh1add: return encR(0x33, 2, 0x10, rd, rs1, rs2);
+      case Op::Sh2add: return encR(0x33, 4, 0x10, rd, rs1, rs2);
+      case Op::Sh3add: return encR(0x33, 6, 0x10, rd, rs1, rs2);
+      case Op::Sh1addUw: return encR(0x3b, 2, 0x10, rd, rs1, rs2);
+      case Op::Sh2addUw: return encR(0x3b, 4, 0x10, rd, rs1, rs2);
+      case Op::Sh3addUw: return encR(0x3b, 6, 0x10, rd, rs1, rs2);
+      case Op::SlliUw:
+        return encI(0x1b, 1, rd, rs1,
+                    static_cast<int64_t>((0x02ULL << 6) | (imm & 0x3f)));
+      case Op::Andn: return encR(0x33, 7, 0x20, rd, rs1, rs2);
+      case Op::Orn: return encR(0x33, 6, 0x20, rd, rs1, rs2);
+      case Op::Xnor: return encR(0x33, 4, 0x20, rd, rs1, rs2);
+      case Op::Clz: return encUnary(0x13, 1, 0x30, 0, rd, rs1);
+      case Op::Ctz: return encUnary(0x13, 1, 0x30, 1, rd, rs1);
+      case Op::Cpop: return encUnary(0x13, 1, 0x30, 2, rd, rs1);
+      case Op::Clzw: return encUnary(0x1b, 1, 0x30, 0, rd, rs1);
+      case Op::Ctzw: return encUnary(0x1b, 1, 0x30, 1, rd, rs1);
+      case Op::Cpopw: return encUnary(0x1b, 1, 0x30, 2, rd, rs1);
+      case Op::Max: return encR(0x33, 6, 0x05, rd, rs1, rs2);
+      case Op::Maxu: return encR(0x33, 7, 0x05, rd, rs1, rs2);
+      case Op::Min: return encR(0x33, 4, 0x05, rd, rs1, rs2);
+      case Op::Minu: return encR(0x33, 5, 0x05, rd, rs1, rs2);
+      case Op::SextB: return encUnary(0x13, 1, 0x30, 4, rd, rs1);
+      case Op::SextH: return encUnary(0x13, 1, 0x30, 5, rd, rs1);
+      case Op::ZextH: return encR(0x3b, 4, 0x04, rd, rs1, 0);
+      case Op::Rol: return encR(0x33, 1, 0x30, rd, rs1, rs2);
+      case Op::Ror: return encR(0x33, 5, 0x30, rd, rs1, rs2);
+      case Op::Rolw: return encR(0x3b, 1, 0x30, rd, rs1, rs2);
+      case Op::Rorw: return encR(0x3b, 5, 0x30, rd, rs1, rs2);
+      case Op::OrcB: return encI(0x13, 5, rd, rs1, 0x287);
+      case Op::Rev8: return encI(0x13, 5, rd, rs1, 0x6b8);
+      case Op::Illegal:
+      default:
+        return 0;
+    }
+}
+
+} // namespace minjie::isa

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * RV64 instruction encoder: the backend of the workload assembler and the
+ * inverse of the decoder (used by roundtrip property tests).
+ */
+
+#ifndef MINJIE_ISA_ENCODE_H
+#define MINJIE_ISA_ENCODE_H
+
+#include <cstdint>
+
+#include "isa/inst.h"
+
+namespace minjie::isa {
+
+/**
+ * Encode @p di as a 32-bit instruction word.
+ *
+ * The relevant fields per format are taken from the DecodedInst:
+ * registers from rd/rs1/rs2/rs3, the immediate (or CSR number, or shift
+ * amount) from imm, and the fp rounding mode from rm. Ops that cannot be
+ * encoded (Illegal) return 0.
+ */
+uint32_t encode(const DecodedInst &di);
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_ENCODE_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Decoded-instruction representation shared by every interpreter and by
+ * the XIANGSHAN cycle model.
+ */
+
+#ifndef MINJIE_ISA_INST_H
+#define MINJIE_ISA_INST_H
+
+#include <cstdint>
+
+#include "isa/op.h"
+
+namespace minjie::isa {
+
+/**
+ * One decoded RV64 instruction. Compressed instructions are expanded to
+ * their 32-bit equivalents with @ref size set to 2.
+ */
+struct DecodedInst
+{
+    uint32_t raw = 0;     ///< original encoding (16-bit in low half for RVC)
+    Op op = Op::Illegal;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    uint8_t rs3 = 0;      ///< FMA third operand
+    uint8_t size = 4;     ///< 2 for compressed, 4 otherwise
+    uint8_t rm = 0;       ///< fp rounding mode field (7 = dynamic)
+    int64_t imm = 0;      ///< sign-extended immediate (csr number for Zicsr)
+
+    bool valid() const { return op != Op::Illegal; }
+};
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_INST_H

@@ -1,0 +1,325 @@
+#include "isa/op.h"
+
+namespace minjie::isa {
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+#define N(o, s) case Op::o: return s
+        N(Illegal, "illegal");
+        N(Lui, "lui"); N(Auipc, "auipc"); N(Jal, "jal"); N(Jalr, "jalr");
+        N(Beq, "beq"); N(Bne, "bne"); N(Blt, "blt"); N(Bge, "bge");
+        N(Bltu, "bltu"); N(Bgeu, "bgeu");
+        N(Lb, "lb"); N(Lh, "lh"); N(Lw, "lw"); N(Ld, "ld");
+        N(Lbu, "lbu"); N(Lhu, "lhu"); N(Lwu, "lwu");
+        N(Sb, "sb"); N(Sh, "sh"); N(Sw, "sw"); N(Sd, "sd");
+        N(Addi, "addi"); N(Slti, "slti"); N(Sltiu, "sltiu");
+        N(Xori, "xori"); N(Ori, "ori"); N(Andi, "andi");
+        N(Slli, "slli"); N(Srli, "srli"); N(Srai, "srai");
+        N(Add, "add"); N(Sub, "sub"); N(Sll, "sll"); N(Slt, "slt");
+        N(Sltu, "sltu"); N(Xor, "xor"); N(Srl, "srl"); N(Sra, "sra");
+        N(Or, "or"); N(And, "and");
+        N(Addiw, "addiw"); N(Slliw, "slliw"); N(Srliw, "srliw");
+        N(Sraiw, "sraiw");
+        N(Addw, "addw"); N(Subw, "subw"); N(Sllw, "sllw");
+        N(Srlw, "srlw"); N(Sraw, "sraw");
+        N(Fence, "fence"); N(FenceI, "fence.i");
+        N(Ecall, "ecall"); N(Ebreak, "ebreak");
+        N(Mul, "mul"); N(Mulh, "mulh"); N(Mulhsu, "mulhsu");
+        N(Mulhu, "mulhu"); N(Div, "div"); N(Divu, "divu");
+        N(Rem, "rem"); N(Remu, "remu");
+        N(Mulw, "mulw"); N(Divw, "divw"); N(Divuw, "divuw");
+        N(Remw, "remw"); N(Remuw, "remuw");
+        N(LrW, "lr.w"); N(ScW, "sc.w");
+        N(AmoSwapW, "amoswap.w"); N(AmoAddW, "amoadd.w");
+        N(AmoXorW, "amoxor.w"); N(AmoAndW, "amoand.w");
+        N(AmoOrW, "amoor.w"); N(AmoMinW, "amomin.w");
+        N(AmoMaxW, "amomax.w"); N(AmoMinuW, "amominu.w");
+        N(AmoMaxuW, "amomaxu.w");
+        N(LrD, "lr.d"); N(ScD, "sc.d");
+        N(AmoSwapD, "amoswap.d"); N(AmoAddD, "amoadd.d");
+        N(AmoXorD, "amoxor.d"); N(AmoAndD, "amoand.d");
+        N(AmoOrD, "amoor.d"); N(AmoMinD, "amomin.d");
+        N(AmoMaxD, "amomax.d"); N(AmoMinuD, "amominu.d");
+        N(AmoMaxuD, "amomaxu.d");
+        N(Flw, "flw"); N(Fsw, "fsw");
+        N(FaddS, "fadd.s"); N(FsubS, "fsub.s"); N(FmulS, "fmul.s");
+        N(FdivS, "fdiv.s"); N(FsqrtS, "fsqrt.s");
+        N(FsgnjS, "fsgnj.s"); N(FsgnjnS, "fsgnjn.s");
+        N(FsgnjxS, "fsgnjx.s"); N(FminS, "fmin.s"); N(FmaxS, "fmax.s");
+        N(FcvtWS, "fcvt.w.s"); N(FcvtWuS, "fcvt.wu.s");
+        N(FcvtLS, "fcvt.l.s"); N(FcvtLuS, "fcvt.lu.s");
+        N(FcvtSW, "fcvt.s.w"); N(FcvtSWu, "fcvt.s.wu");
+        N(FcvtSL, "fcvt.s.l"); N(FcvtSLu, "fcvt.s.lu");
+        N(FmvXW, "fmv.x.w"); N(FmvWX, "fmv.w.x");
+        N(FeqS, "feq.s"); N(FltS, "flt.s"); N(FleS, "fle.s");
+        N(FclassS, "fclass.s");
+        N(FmaddS, "fmadd.s"); N(FmsubS, "fmsub.s");
+        N(FnmsubS, "fnmsub.s"); N(FnmaddS, "fnmadd.s");
+        N(Fld, "fld"); N(Fsd, "fsd");
+        N(FaddD, "fadd.d"); N(FsubD, "fsub.d"); N(FmulD, "fmul.d");
+        N(FdivD, "fdiv.d"); N(FsqrtD, "fsqrt.d");
+        N(FsgnjD, "fsgnj.d"); N(FsgnjnD, "fsgnjn.d");
+        N(FsgnjxD, "fsgnjx.d"); N(FminD, "fmin.d"); N(FmaxD, "fmax.d");
+        N(FcvtWD, "fcvt.w.d"); N(FcvtWuD, "fcvt.wu.d");
+        N(FcvtLD, "fcvt.l.d"); N(FcvtLuD, "fcvt.lu.d");
+        N(FcvtDW, "fcvt.d.w"); N(FcvtDWu, "fcvt.d.wu");
+        N(FcvtDL, "fcvt.d.l"); N(FcvtDLu, "fcvt.d.lu");
+        N(FcvtSD, "fcvt.s.d"); N(FcvtDS, "fcvt.d.s");
+        N(FmvXD, "fmv.x.d"); N(FmvDX, "fmv.d.x");
+        N(FeqD, "feq.d"); N(FltD, "flt.d"); N(FleD, "fle.d");
+        N(FclassD, "fclass.d");
+        N(FmaddD, "fmadd.d"); N(FmsubD, "fmsub.d");
+        N(FnmsubD, "fnmsub.d"); N(FnmaddD, "fnmadd.d");
+        N(Csrrw, "csrrw"); N(Csrrs, "csrrs"); N(Csrrc, "csrrc");
+        N(Csrrwi, "csrrwi"); N(Csrrsi, "csrrsi"); N(Csrrci, "csrrci");
+        N(Mret, "mret"); N(Sret, "sret"); N(Wfi, "wfi");
+        N(SfenceVma, "sfence.vma");
+        N(AddUw, "add.uw"); N(Sh1add, "sh1add"); N(Sh2add, "sh2add");
+        N(Sh3add, "sh3add"); N(Sh1addUw, "sh1add.uw");
+        N(Sh2addUw, "sh2add.uw"); N(Sh3addUw, "sh3add.uw");
+        N(SlliUw, "slli.uw");
+        N(Andn, "andn"); N(Orn, "orn"); N(Xnor, "xnor");
+        N(Clz, "clz"); N(Ctz, "ctz"); N(Cpop, "cpop");
+        N(Clzw, "clzw"); N(Ctzw, "ctzw"); N(Cpopw, "cpopw");
+        N(Max, "max"); N(Maxu, "maxu"); N(Min, "min"); N(Minu, "minu");
+        N(SextB, "sext.b"); N(SextH, "sext.h"); N(ZextH, "zext.h");
+        N(Rol, "rol"); N(Ror, "ror"); N(Rori, "rori");
+        N(Rolw, "rolw"); N(Rorw, "rorw"); N(Roriw, "roriw");
+        N(OrcB, "orc.b"); N(Rev8, "rev8");
+#undef N
+      default:
+        return "unknown";
+    }
+}
+
+bool
+isLoad(Op op)
+{
+    switch (op) {
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu:
+      case Op::Flw: case Op::Fld:
+      case Op::LrW: case Op::LrD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isStore(Op op)
+{
+    switch (op) {
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
+      case Op::Fsw: case Op::Fsd:
+      case Op::ScW: case Op::ScD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAmo(Op op)
+{
+    return op >= Op::AmoSwapW && op <= Op::AmoMaxuW
+        ? true
+        : (op >= Op::AmoSwapD && op <= Op::AmoMaxuD);
+}
+
+bool
+isLr(Op op)
+{
+    return op == Op::LrW || op == Op::LrD;
+}
+
+bool
+isSc(Op op)
+{
+    return op == Op::ScW || op == Op::ScD;
+}
+
+bool
+isCondBranch(Op op)
+{
+    return op >= Op::Beq && op <= Op::Bgeu;
+}
+
+bool
+isJump(Op op)
+{
+    return op == Op::Jal || op == Op::Jalr;
+}
+
+bool
+isFp(Op op)
+{
+    return (op >= Op::Flw && op <= Op::FnmaddD);
+}
+
+bool
+readsFpRs1(Op op)
+{
+    if (!isFp(op))
+        return false;
+    switch (op) {
+      case Op::Flw: case Op::Fld: case Op::Fsw: case Op::Fsd:
+      case Op::FcvtSW: case Op::FcvtSWu: case Op::FcvtSL: case Op::FcvtSLu:
+      case Op::FcvtDW: case Op::FcvtDWu: case Op::FcvtDL: case Op::FcvtDLu:
+      case Op::FmvWX: case Op::FmvDX:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+readsFpRs2(Op op)
+{
+    if (!isFp(op))
+        return false;
+    switch (op) {
+      case Op::Fsw: case Op::Fsd:
+      case Op::FaddS: case Op::FsubS: case Op::FmulS: case Op::FdivS:
+      case Op::FsgnjS: case Op::FsgnjnS: case Op::FsgnjxS:
+      case Op::FminS: case Op::FmaxS:
+      case Op::FeqS: case Op::FltS: case Op::FleS:
+      case Op::FmaddS: case Op::FmsubS: case Op::FnmsubS: case Op::FnmaddS:
+      case Op::FaddD: case Op::FsubD: case Op::FmulD: case Op::FdivD:
+      case Op::FsgnjD: case Op::FsgnjnD: case Op::FsgnjxD:
+      case Op::FminD: case Op::FmaxD:
+      case Op::FeqD: case Op::FltD: case Op::FleD:
+      case Op::FmaddD: case Op::FmsubD: case Op::FnmsubD: case Op::FnmaddD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+writesFpRd(Op op)
+{
+    if (!isFp(op))
+        return false;
+    switch (op) {
+      case Op::Fsw: case Op::Fsd:
+      case Op::FcvtWS: case Op::FcvtWuS: case Op::FcvtLS: case Op::FcvtLuS:
+      case Op::FcvtWD: case Op::FcvtWuD: case Op::FcvtLD: case Op::FcvtLuD:
+      case Op::FmvXW: case Op::FmvXD:
+      case Op::FeqS: case Op::FltS: case Op::FleS: case Op::FclassS:
+      case Op::FeqD: case Op::FltD: case Op::FleD: case Op::FclassD:
+        return false;
+      default:
+        return true;
+    }
+}
+
+bool
+isCsr(Op op)
+{
+    return op >= Op::Csrrw && op <= Op::Csrrci;
+}
+
+bool
+isFence(Op op)
+{
+    return op == Op::Fence || op == Op::FenceI || op == Op::SfenceVma;
+}
+
+bool
+isSystem(Op op)
+{
+    switch (op) {
+      case Op::Ecall: case Op::Ebreak: case Op::Mret: case Op::Sret:
+      case Op::Wfi: case Op::SfenceVma:
+        return true;
+      default:
+        return isCsr(op);
+    }
+}
+
+unsigned
+memSize(Op op)
+{
+    switch (op) {
+      case Op::Lb: case Op::Lbu: case Op::Sb:
+        return 1;
+      case Op::Lh: case Op::Lhu: case Op::Sh:
+        return 2;
+      case Op::Lw: case Op::Lwu: case Op::Sw: case Op::Flw: case Op::Fsw:
+      case Op::LrW: case Op::ScW:
+        return 4;
+      case Op::Ld: case Op::Sd: case Op::Fld: case Op::Fsd:
+      case Op::LrD: case Op::ScD:
+        return 8;
+      default:
+        if (isAmo(op)) {
+            return (op >= Op::AmoSwapD && op <= Op::AmoMaxuD) ? 8 : 4;
+        }
+        return 0;
+    }
+}
+
+bool
+loadSigned(Op op)
+{
+    switch (op) {
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::LrW: case Op::LrD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+FuType
+fuType(Op op)
+{
+    if (isLoad(op))
+        return FuType::Ldu;
+    if (isStore(op) || isAmo(op))
+        return FuType::Sta;   // split into Sta+Std by the rename stage
+    if (isCondBranch(op) || isJump(op) || isCsr(op) || isSystem(op))
+        return FuType::Jmp;
+    switch (op) {
+      case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
+      case Op::Mulw:
+        return FuType::Mul;
+      case Op::Div: case Op::Divu: case Op::Rem: case Op::Remu:
+      case Op::Divw: case Op::Divuw: case Op::Remw: case Op::Remuw:
+        return FuType::Div;
+      case Op::FdivS: case Op::FsqrtS: case Op::FdivD: case Op::FsqrtD:
+        return FuType::Fdiv;
+      case Op::FaddS: case Op::FsubS: case Op::FmulS:
+      case Op::FmaddS: case Op::FmsubS: case Op::FnmsubS: case Op::FnmaddS:
+      case Op::FaddD: case Op::FsubD: case Op::FmulD:
+      case Op::FmaddD: case Op::FmsubD: case Op::FnmsubD: case Op::FnmaddD:
+        return FuType::Fma;
+      case Op::Fence: case Op::FenceI:
+        return FuType::None;
+      case Op::FmvWX: case Op::FmvDX:
+      case Op::FcvtSW: case Op::FcvtSWu: case Op::FcvtSL: case Op::FcvtSLu:
+      case Op::FcvtDW: case Op::FcvtDWu: case Op::FcvtDL: case Op::FcvtDLu:
+        return FuType::Jmp;   // int-to-float path shares the JMP/I2F unit
+      default:
+        if (isFp(op))
+            return FuType::Fmisc;
+        return FuType::Alu;
+    }
+}
+
+bool
+hasRs3(Op op)
+{
+    switch (op) {
+      case Op::FmaddS: case Op::FmsubS: case Op::FnmsubS: case Op::FnmaddS:
+      case Op::FmaddD: case Op::FmsubD: case Op::FnmsubD: case Op::FnmaddD:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace minjie::isa

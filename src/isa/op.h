@@ -1,0 +1,139 @@
+/**
+ * @file
+ * RV64 operation enumeration and static metadata.
+ *
+ * Covers RV64I, M, A, F, D, Zicsr, Zifencei, the privileged instructions
+ * needed for machine/supervisor mode, and the Zba/Zbb subsets that the
+ * XIANGSHAN NH generation (RV64GCBK) exposes to the compiler.  Compressed
+ * (C) instructions are expanded to these base operations by the decoder.
+ */
+
+#ifndef MINJIE_ISA_OP_H
+#define MINJIE_ISA_OP_H
+
+#include <cstdint>
+
+namespace minjie::isa {
+
+enum class Op : uint16_t {
+    Illegal = 0,
+
+    // RV64I
+    Lui, Auipc, Jal, Jalr,
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    Lb, Lh, Lw, Ld, Lbu, Lhu, Lwu,
+    Sb, Sh, Sw, Sd,
+    Addi, Slti, Sltiu, Xori, Ori, Andi, Slli, Srli, Srai,
+    Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And,
+    Addiw, Slliw, Srliw, Sraiw,
+    Addw, Subw, Sllw, Srlw, Sraw,
+    Fence, FenceI, Ecall, Ebreak,
+
+    // RV64M
+    Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu,
+    Mulw, Divw, Divuw, Remw, Remuw,
+
+    // RV64A
+    LrW, ScW, AmoSwapW, AmoAddW, AmoXorW, AmoAndW, AmoOrW,
+    AmoMinW, AmoMaxW, AmoMinuW, AmoMaxuW,
+    LrD, ScD, AmoSwapD, AmoAddD, AmoXorD, AmoAndD, AmoOrD,
+    AmoMinD, AmoMaxD, AmoMinuD, AmoMaxuD,
+
+    // RV64F
+    Flw, Fsw,
+    FaddS, FsubS, FmulS, FdivS, FsqrtS,
+    FsgnjS, FsgnjnS, FsgnjxS, FminS, FmaxS,
+    FcvtWS, FcvtWuS, FcvtLS, FcvtLuS,
+    FcvtSW, FcvtSWu, FcvtSL, FcvtSLu,
+    FmvXW, FmvWX,
+    FeqS, FltS, FleS, FclassS,
+    FmaddS, FmsubS, FnmsubS, FnmaddS,
+
+    // RV64D
+    Fld, Fsd,
+    FaddD, FsubD, FmulD, FdivD, FsqrtD,
+    FsgnjD, FsgnjnD, FsgnjxD, FminD, FmaxD,
+    FcvtWD, FcvtWuD, FcvtLD, FcvtLuD,
+    FcvtDW, FcvtDWu, FcvtDL, FcvtDLu,
+    FcvtSD, FcvtDS,
+    FmvXD, FmvDX,
+    FeqD, FltD, FleD, FclassD,
+    FmaddD, FmsubD, FnmsubD, FnmaddD,
+
+    // Zicsr
+    Csrrw, Csrrs, Csrrc, Csrrwi, Csrrsi, Csrrci,
+
+    // Privileged
+    Mret, Sret, Wfi, SfenceVma,
+
+    // Zba
+    AddUw, Sh1add, Sh2add, Sh3add, Sh1addUw, Sh2addUw, Sh3addUw, SlliUw,
+
+    // Zbb
+    Andn, Orn, Xnor,
+    Clz, Ctz, Cpop, Clzw, Ctzw, Cpopw,
+    Max, Maxu, Min, Minu,
+    SextB, SextH, ZextH,
+    Rol, Ror, Rori, Rolw, Rorw, Roriw,
+    OrcB, Rev8,
+
+    NumOps
+};
+
+/** Functional-unit class used by the cycle model's issue logic. */
+enum class FuType : uint8_t {
+    Alu,    ///< single-cycle integer
+    Mul,    ///< pipelined multiplier
+    Div,    ///< iterative divider
+    Jmp,    ///< jumps / CSR / int-to-float moves
+    Ldu,    ///< load unit
+    Sta,    ///< store-address uop
+    Std,    ///< store-data uop
+    Fma,    ///< cascade FMA pipeline
+    Fmisc,  ///< fp compare/convert/sign-injection
+    Fdiv,   ///< fp divide / sqrt
+    None,   ///< does not occupy an execution unit (fences in some models)
+};
+
+/** Human-readable mnemonic for @p op. */
+const char *opName(Op op);
+
+bool isLoad(Op op);
+bool isStore(Op op);
+bool isAmo(Op op);
+bool isLr(Op op);
+bool isSc(Op op);
+/** Conditional branches only. */
+bool isCondBranch(Op op);
+/** jal/jalr. */
+bool isJump(Op op);
+/** Any control transfer the branch predictor must handle. */
+inline bool isControl(Op op) { return isCondBranch(op) || isJump(op); }
+/** True when the op reads/writes the FP register file. */
+bool isFp(Op op);
+/** True when rs1 names an FP register. */
+bool readsFpRs1(Op op);
+/** True when rs2 names an FP register. */
+bool readsFpRs2(Op op);
+/** True when rd names an FP register. */
+bool writesFpRd(Op op);
+bool isCsr(Op op);
+bool isFence(Op op);
+bool isSystem(Op op);
+/** True for any op that may access memory (loads, stores, amo, lr/sc). */
+inline bool isMem(Op op) { return isLoad(op) || isStore(op) || isAmo(op); }
+
+/** Memory access size in bytes for memory ops (1/2/4/8). */
+unsigned memSize(Op op);
+/** True when a load result is sign-extended. */
+bool loadSigned(Op op);
+
+/** Execution-unit class for the cycle model. */
+FuType fuType(Op op);
+
+/** True when the op uses rs3 (FMA family). */
+bool hasRs3(Op op);
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_OP_H

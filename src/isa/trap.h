@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RISC-V trap causes and the trap descriptor passed between the executor
+ * and the privilege logic.
+ */
+
+#ifndef MINJIE_ISA_TRAP_H
+#define MINJIE_ISA_TRAP_H
+
+#include <cstdint>
+
+namespace minjie::isa {
+
+/** Synchronous exception causes (mcause values, interrupt bit clear). */
+enum class Exc : uint64_t {
+    InstAddrMisaligned = 0,
+    InstAccessFault = 1,
+    IllegalInst = 2,
+    Breakpoint = 3,
+    LoadAddrMisaligned = 4,
+    LoadAccessFault = 5,
+    StoreAddrMisaligned = 6,
+    StoreAccessFault = 7,
+    EcallFromU = 8,
+    EcallFromS = 9,
+    EcallFromM = 11,
+    InstPageFault = 12,
+    LoadPageFault = 13,
+    StorePageFault = 15,
+    None = ~0ULL,
+};
+
+/** Interrupt causes (mcause values with the interrupt bit set). */
+enum class Irq : uint64_t {
+    SSoft = 1,
+    MSoft = 3,
+    STimer = 5,
+    MTimer = 7,
+    SExt = 9,
+    MExt = 11,
+};
+
+/** Privilege levels. */
+enum class Priv : uint8_t { U = 0, S = 1, M = 3 };
+
+/** A pending trap: exception cause plus the trap value (tval). */
+struct Trap
+{
+    Exc cause = Exc::None;
+    uint64_t tval = 0;
+
+    bool pending() const { return cause != Exc::None; }
+    static Trap none() { return {}; }
+    static Trap make(Exc cause, uint64_t tval = 0) { return {cause, tval}; }
+};
+
+/** True when @p exc is a page fault (the DRAV page-fault rule cares). */
+inline bool
+isPageFault(Exc exc)
+{
+    return exc == Exc::InstPageFault || exc == Exc::LoadPageFault ||
+           exc == Exc::StorePageFault;
+}
+
+} // namespace minjie::isa
+
+#endif // MINJIE_ISA_TRAP_H

@@ -1,0 +1,105 @@
+#include "iss/arch_state.h"
+
+#include "isa/csr.h"
+
+namespace minjie::iss {
+
+using namespace minjie::isa;
+
+namespace {
+
+void
+enterTrap(ArchState &st, uint64_t cause, uint64_t tval, Addr epc,
+          bool interrupt)
+{
+    auto &csr = st.csr;
+    bool delegate = st.priv != Priv::M &&
+                    (interrupt ? (csr.mideleg >> (cause & 63)) & 1
+                               : (csr.medeleg >> (cause & 63)) & 1);
+    uint64_t cause_val = cause | (interrupt ? (1ULL << 63) : 0);
+
+    if (delegate) {
+        csr.sepc = epc;
+        csr.scause = cause_val;
+        csr.stval = tval;
+        // Stack SIE into SPIE, record previous privilege.
+        uint64_t s = csr.mstatus;
+        s = (s & ~MSTATUS_SPIE) | ((s & MSTATUS_SIE) ? MSTATUS_SPIE : 0);
+        s &= ~MSTATUS_SIE;
+        s = (s & ~MSTATUS_SPP) |
+            (st.priv == Priv::S ? MSTATUS_SPP : 0);
+        csr.mstatus = s;
+        st.priv = Priv::S;
+        Addr base = csr.stvec & ~3ULL;
+        if ((csr.stvec & 3) == 1 && interrupt)
+            st.pc = base + 4 * cause;
+        else
+            st.pc = base;
+    } else {
+        csr.mepc = epc;
+        csr.mcause = cause_val;
+        csr.mtval = tval;
+        uint64_t s = csr.mstatus;
+        s = (s & ~MSTATUS_MPIE) | ((s & MSTATUS_MIE) ? MSTATUS_MPIE : 0);
+        s &= ~MSTATUS_MIE;
+        s = (s & ~MSTATUS_MPP) |
+            (static_cast<uint64_t>(st.priv) << 11);
+        csr.mstatus = s;
+        st.priv = Priv::M;
+        Addr base = csr.mtvec & ~3ULL;
+        if ((csr.mtvec & 3) == 1 && interrupt)
+            st.pc = base + 4 * cause;
+        else
+            st.pc = base;
+    }
+}
+
+} // namespace
+
+void
+takeTrap(ArchState &st, const Trap &trap, Addr epc)
+{
+    enterTrap(st, static_cast<uint64_t>(trap.cause), trap.tval, epc, false);
+}
+
+void
+takeInterrupt(ArchState &st, Irq irq)
+{
+    enterTrap(st, static_cast<uint64_t>(irq), 0, st.pc, true);
+}
+
+uint64_t
+pendingInterrupt(const ArchState &st)
+{
+    const auto &csr = st.csr;
+    uint64_t pending = csr.mip & csr.mie;
+    if (!pending)
+        return ~0ULL;
+
+    uint64_t m_pending = pending & ~csr.mideleg;
+    uint64_t s_pending = pending & csr.mideleg;
+
+    bool m_enabled = st.priv != Priv::M || (csr.mstatus & MSTATUS_MIE);
+    bool s_enabled = st.priv == Priv::U ||
+                     (st.priv == Priv::S && (csr.mstatus & MSTATUS_SIE));
+
+    // M-mode interrupts preempt S-mode ones.
+    uint64_t take = 0;
+    if (m_enabled && m_pending)
+        take = m_pending;
+    else if (s_enabled && s_pending)
+        take = s_pending;
+    if (!take)
+        return ~0ULL;
+
+    // Priority: MEI, MSI, MTI, SEI, SSI, STI.
+    static const uint64_t order[] = {MIP_MEIP, MIP_MSIP, MIP_MTIP,
+                                     MIP_SEIP, MIP_SSIP, MIP_STIP};
+    static const uint64_t causes[] = {11, 3, 7, 9, 1, 5};
+    for (unsigned i = 0; i < 6; ++i)
+        if (take & order[i])
+            return causes[i];
+    return ~0ULL;
+}
+
+} // namespace minjie::iss

@@ -1,0 +1,566 @@
+#include "iss/exec.h"
+
+#include <bit>
+
+#include "common/bitutil.h"
+
+namespace minjie::iss {
+
+using namespace minjie::isa;
+
+namespace {
+
+int64_t s64(uint64_t v) { return static_cast<int64_t>(v); }
+int32_t s32(uint64_t v) { return static_cast<int32_t>(v); }
+uint64_t sx32(uint64_t v) { return static_cast<uint64_t>(s64(sext(v, 32))); }
+
+uint64_t
+mulhu64(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 64);
+}
+
+uint64_t
+mulh64(int64_t a, int64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * b) >> 64);
+}
+
+uint64_t
+mulhsu64(int64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * static_cast<unsigned __int128>(b)) >>
+        64);
+}
+
+uint64_t
+div64(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return ~0ULL;
+    if (a == INT64_MIN && b == -1)
+        return static_cast<uint64_t>(INT64_MIN);
+    return static_cast<uint64_t>(a / b);
+}
+
+uint64_t
+rem64(int64_t a, int64_t b)
+{
+    if (b == 0)
+        return static_cast<uint64_t>(a);
+    if (a == INT64_MIN && b == -1)
+        return 0;
+    return static_cast<uint64_t>(a % b);
+}
+
+/** LR/SC reservation granule: 64-byte blocks, matching the DUT caches. */
+constexpr Addr RES_GRANULE = ~static_cast<Addr>(63);
+
+uint64_t
+amoCompute(Op op, uint64_t old, uint64_t src, unsigned size)
+{
+    bool w = size == 4;
+    int64_t so = w ? s32(old) : s64(old);
+    int64_t ss = w ? s32(src) : s64(src);
+    uint64_t uo = w ? (old & 0xffffffffu) : old;
+    uint64_t us = w ? (src & 0xffffffffu) : src;
+    switch (op) {
+      case Op::AmoSwapW: case Op::AmoSwapD: return src;
+      case Op::AmoAddW: case Op::AmoAddD: return old + src;
+      case Op::AmoXorW: case Op::AmoXorD: return old ^ src;
+      case Op::AmoAndW: case Op::AmoAndD: return old & src;
+      case Op::AmoOrW: case Op::AmoOrD: return old | src;
+      case Op::AmoMinW: case Op::AmoMinD:
+        return so < ss ? old : src;
+      case Op::AmoMaxW: case Op::AmoMaxD:
+        return so > ss ? old : src;
+      case Op::AmoMinuW: case Op::AmoMinuD:
+        return uo < us ? old : src;
+      case Op::AmoMaxuW: case Op::AmoMaxuD:
+        return uo > us ? old : src;
+      default: return src;
+    }
+}
+
+} // namespace
+
+Trap
+execInst(ArchState &st, Mmu &mmu, const DecodedInst &di, fp::FpBackend fpb,
+         ExecInfo *info)
+{
+    const Op op = di.op;
+    const Addr pc = st.pc;
+    const Addr next = pc + di.size;
+    const uint64_t rs1 = st.x[di.rs1];
+    const uint64_t rs2 = st.x[di.rs2];
+    const int64_t imm = di.imm;
+    auto &csr = st.csr;
+
+    auto setRd = [&](uint64_t v) { st.setX(di.rd, v); };
+    auto trapIllegal = [&] {
+        return Trap::make(Exc::IllegalInst, di.raw);
+    };
+
+    switch (op) {
+      case Op::Illegal:
+        return trapIllegal();
+
+      // ------------------------------------------------ control flow
+      case Op::Lui: setRd(static_cast<uint64_t>(imm)); break;
+      case Op::Auipc: setRd(pc + static_cast<uint64_t>(imm)); break;
+      case Op::Jal:
+        setRd(next);
+        st.pc = pc + static_cast<uint64_t>(imm);
+        return Trap::none();
+      case Op::Jalr: {
+        Addr target = (rs1 + static_cast<uint64_t>(imm)) & ~1ULL;
+        setRd(next);
+        st.pc = target;
+        return Trap::none();
+      }
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu: {
+        bool taken;
+        switch (op) {
+          case Op::Beq: taken = rs1 == rs2; break;
+          case Op::Bne: taken = rs1 != rs2; break;
+          case Op::Blt: taken = s64(rs1) < s64(rs2); break;
+          case Op::Bge: taken = s64(rs1) >= s64(rs2); break;
+          case Op::Bltu: taken = rs1 < rs2; break;
+          default: taken = rs1 >= rs2; break;
+        }
+        st.pc = taken ? pc + static_cast<uint64_t>(imm) : next;
+        return Trap::none();
+      }
+
+      // ------------------------------------------------ loads/stores
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::Lbu: case Op::Lhu: case Op::Lwu: {
+        Addr va = rs1 + static_cast<uint64_t>(imm);
+        unsigned size = memSize(op);
+        uint64_t data;
+        Trap t = mmu.load(va, size, data);
+        if (t.pending())
+            return t;
+        uint64_t val = loadSigned(op)
+            ? static_cast<uint64_t>(sext(data, size * 8))
+            : data;
+        setRd(val);
+        if (info) {
+            info->memValid = true;
+            info->memVaddr = va;
+            info->memPaddr = mmu.lastPaddr();
+            info->memData = val;
+            info->memSize = static_cast<uint8_t>(size);
+            info->isMmio = mmu.mem().isMmio(mmu.lastPaddr());
+        }
+        break;
+      }
+      case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd: {
+        Addr va = rs1 + static_cast<uint64_t>(imm);
+        unsigned size = memSize(op);
+        Trap t = mmu.store(va, size, rs2);
+        if (t.pending())
+            return t;
+        if (info) {
+            info->memValid = true;
+            info->isStore = true;
+            info->memVaddr = va;
+            info->memPaddr = mmu.lastPaddr();
+            info->memData = size == 8 ? rs2 : zext(rs2, size * 8);
+            info->memSize = static_cast<uint8_t>(size);
+            info->isMmio = mmu.mem().isMmio(mmu.lastPaddr());
+        }
+        break;
+      }
+      case Op::Flw: case Op::Fld: {
+        if (!csr.fpEnabled())
+            return trapIllegal();
+        Addr va = rs1 + static_cast<uint64_t>(imm);
+        unsigned size = memSize(op);
+        uint64_t data;
+        Trap t = mmu.load(va, size, data);
+        if (t.pending())
+            return t;
+        st.f[di.rd] = op == Op::Flw
+            ? fp::boxF32(static_cast<uint32_t>(data)) : data;
+        csr.setFsDirty();
+        if (info) {
+            info->memValid = true;
+            info->memVaddr = va;
+            info->memPaddr = mmu.lastPaddr();
+            info->memData = data;
+            info->memSize = static_cast<uint8_t>(size);
+            info->isMmio = mmu.mem().isMmio(mmu.lastPaddr());
+        }
+        break;
+      }
+      case Op::Fsw: case Op::Fsd: {
+        if (!csr.fpEnabled())
+            return trapIllegal();
+        Addr va = rs1 + static_cast<uint64_t>(imm);
+        unsigned size = memSize(op);
+        uint64_t data = st.f[di.rs2];
+        Trap t = mmu.store(va, size, data);
+        if (t.pending())
+            return t;
+        if (info) {
+            info->memValid = true;
+            info->isStore = true;
+            info->memVaddr = va;
+            info->memPaddr = mmu.lastPaddr();
+            info->memData = size == 8 ? data : zext(data, size * 8);
+            info->memSize = static_cast<uint8_t>(size);
+            info->isMmio = mmu.mem().isMmio(mmu.lastPaddr());
+        }
+        break;
+      }
+
+      // ------------------------------------------------ atomics
+      case Op::LrW: case Op::LrD: {
+        unsigned size = memSize(op);
+        if (rs1 & (size - 1))
+            return Trap::make(Exc::LoadAddrMisaligned, rs1);
+        uint64_t data;
+        Trap t = mmu.load(rs1, size, data);
+        if (t.pending())
+            return t;
+        setRd(static_cast<uint64_t>(sext(data, size * 8)));
+        st.resValid = true;
+        st.resAddr = rs1 & RES_GRANULE;
+        if (info) {
+            info->memValid = true;
+            info->memVaddr = rs1;
+            info->memPaddr = mmu.lastPaddr();
+            info->memData = data;
+            info->memSize = static_cast<uint8_t>(size);
+        }
+        break;
+      }
+      case Op::ScW: case Op::ScD: {
+        unsigned size = memSize(op);
+        if (rs1 & (size - 1))
+            return Trap::make(Exc::StoreAddrMisaligned, rs1);
+        bool ok = st.resValid && st.resAddr == (rs1 & RES_GRANULE);
+        st.resValid = false;
+        if (ok) {
+            Trap t = mmu.store(rs1, size, rs2);
+            if (t.pending())
+                return t;
+            setRd(0);
+            if (info) {
+                info->memValid = true;
+                info->isStore = true;
+                info->memVaddr = rs1;
+                info->memPaddr = mmu.lastPaddr();
+                info->memData = size == 8 ? rs2 : zext(rs2, size * 8);
+                info->memSize = static_cast<uint8_t>(size);
+            }
+        } else {
+            setRd(1);
+            if (info)
+                info->scFailed = true;
+        }
+        break;
+      }
+      case Op::AmoSwapW: case Op::AmoAddW: case Op::AmoXorW:
+      case Op::AmoAndW: case Op::AmoOrW: case Op::AmoMinW:
+      case Op::AmoMaxW: case Op::AmoMinuW: case Op::AmoMaxuW:
+      case Op::AmoSwapD: case Op::AmoAddD: case Op::AmoXorD:
+      case Op::AmoAndD: case Op::AmoOrD: case Op::AmoMinD:
+      case Op::AmoMaxD: case Op::AmoMinuD: case Op::AmoMaxuD: {
+        unsigned size = memSize(op);
+        if (rs1 & (size - 1))
+            return Trap::make(Exc::StoreAddrMisaligned, rs1);
+        uint64_t old;
+        // AMO requires write permission even for the read half.
+        Addr paddr;
+        Trap t = mmu.translate(rs1, Access::Store, paddr);
+        if (t.pending())
+            return t;
+        if (!mmu.mem().read(paddr, size, old))
+            return Trap::make(Exc::StoreAccessFault, rs1);
+        uint64_t newval = amoCompute(op, old, rs2, size);
+        if (!mmu.mem().write(paddr, size, newval))
+            return Trap::make(Exc::StoreAccessFault, rs1);
+        setRd(static_cast<uint64_t>(sext(old, size * 8)));
+        if (info) {
+            info->memValid = true;
+            info->isStore = true;
+            info->memVaddr = rs1;
+            info->memPaddr = paddr;
+            info->memData = size == 8 ? newval : zext(newval, size * 8);
+            info->memSize = static_cast<uint8_t>(size);
+        }
+        break;
+      }
+
+      // ------------------------------------------------ integer ALU
+      case Op::Addi: setRd(rs1 + imm); break;
+      case Op::Slti: setRd(s64(rs1) < imm ? 1 : 0); break;
+      case Op::Sltiu:
+        setRd(rs1 < static_cast<uint64_t>(imm) ? 1 : 0);
+        break;
+      case Op::Xori: setRd(rs1 ^ static_cast<uint64_t>(imm)); break;
+      case Op::Ori: setRd(rs1 | static_cast<uint64_t>(imm)); break;
+      case Op::Andi: setRd(rs1 & static_cast<uint64_t>(imm)); break;
+      case Op::Slli: setRd(rs1 << (imm & 63)); break;
+      case Op::Srli: setRd(rs1 >> (imm & 63)); break;
+      case Op::Srai: setRd(static_cast<uint64_t>(s64(rs1) >> (imm & 63)));
+        break;
+      case Op::Add: setRd(rs1 + rs2); break;
+      case Op::Sub: setRd(rs1 - rs2); break;
+      case Op::Sll: setRd(rs1 << (rs2 & 63)); break;
+      case Op::Slt: setRd(s64(rs1) < s64(rs2) ? 1 : 0); break;
+      case Op::Sltu: setRd(rs1 < rs2 ? 1 : 0); break;
+      case Op::Xor: setRd(rs1 ^ rs2); break;
+      case Op::Srl: setRd(rs1 >> (rs2 & 63)); break;
+      case Op::Sra:
+        setRd(static_cast<uint64_t>(s64(rs1) >> (rs2 & 63)));
+        break;
+      case Op::Or: setRd(rs1 | rs2); break;
+      case Op::And: setRd(rs1 & rs2); break;
+      case Op::Addiw: setRd(sx32(rs1 + imm)); break;
+      case Op::Slliw: setRd(sx32(rs1 << (imm & 31))); break;
+      case Op::Srliw:
+        setRd(sx32((rs1 & 0xffffffffu) >> (imm & 31)));
+        break;
+      case Op::Sraiw:
+        setRd(static_cast<uint64_t>(
+            static_cast<int64_t>(s32(rs1) >> (imm & 31))));
+        break;
+      case Op::Addw: setRd(sx32(rs1 + rs2)); break;
+      case Op::Subw: setRd(sx32(rs1 - rs2)); break;
+      case Op::Sllw: setRd(sx32(rs1 << (rs2 & 31))); break;
+      case Op::Srlw:
+        setRd(sx32((rs1 & 0xffffffffu) >> (rs2 & 31)));
+        break;
+      case Op::Sraw:
+        setRd(static_cast<uint64_t>(
+            static_cast<int64_t>(s32(rs1) >> (rs2 & 31))));
+        break;
+
+      // ------------------------------------------------ M extension
+      case Op::Mul: setRd(rs1 * rs2); break;
+      case Op::Mulh: setRd(mulh64(s64(rs1), s64(rs2))); break;
+      case Op::Mulhsu: setRd(mulhsu64(s64(rs1), rs2)); break;
+      case Op::Mulhu: setRd(mulhu64(rs1, rs2)); break;
+      case Op::Div: setRd(div64(s64(rs1), s64(rs2))); break;
+      case Op::Divu: setRd(rs2 == 0 ? ~0ULL : rs1 / rs2); break;
+      case Op::Rem: setRd(rem64(s64(rs1), s64(rs2))); break;
+      case Op::Remu: setRd(rs2 == 0 ? rs1 : rs1 % rs2); break;
+      case Op::Mulw: setRd(sx32(rs1 * rs2)); break;
+      case Op::Divw: {
+        int32_t a = s32(rs1), b = s32(rs2);
+        int32_t r = b == 0 ? -1
+            : (a == INT32_MIN && b == -1 ? INT32_MIN : a / b);
+        setRd(static_cast<uint64_t>(static_cast<int64_t>(r)));
+        break;
+      }
+      case Op::Divuw: {
+        uint32_t a = static_cast<uint32_t>(rs1);
+        uint32_t b = static_cast<uint32_t>(rs2);
+        setRd(b == 0 ? ~0ULL : sx32(a / b));
+        break;
+      }
+      case Op::Remw: {
+        int32_t a = s32(rs1), b = s32(rs2);
+        int32_t r = b == 0 ? a
+            : (a == INT32_MIN && b == -1 ? 0 : a % b);
+        setRd(static_cast<uint64_t>(static_cast<int64_t>(r)));
+        break;
+      }
+      case Op::Remuw: {
+        uint32_t a = static_cast<uint32_t>(rs1);
+        uint32_t b = static_cast<uint32_t>(rs2);
+        setRd(b == 0 ? sx32(a) : sx32(a % b));
+        break;
+      }
+
+      // ------------------------------------------------ Zba / Zbb
+      case Op::AddUw: setRd((rs1 & 0xffffffffu) + rs2); break;
+      case Op::Sh1add: setRd((rs1 << 1) + rs2); break;
+      case Op::Sh2add: setRd((rs1 << 2) + rs2); break;
+      case Op::Sh3add: setRd((rs1 << 3) + rs2); break;
+      case Op::Sh1addUw: setRd(((rs1 & 0xffffffffu) << 1) + rs2); break;
+      case Op::Sh2addUw: setRd(((rs1 & 0xffffffffu) << 2) + rs2); break;
+      case Op::Sh3addUw: setRd(((rs1 & 0xffffffffu) << 3) + rs2); break;
+      case Op::SlliUw: setRd((rs1 & 0xffffffffu) << (imm & 63)); break;
+      case Op::Andn: setRd(rs1 & ~rs2); break;
+      case Op::Orn: setRd(rs1 | ~rs2); break;
+      case Op::Xnor: setRd(~(rs1 ^ rs2)); break;
+      case Op::Clz: setRd(std::countl_zero(rs1)); break;
+      case Op::Ctz: setRd(std::countr_zero(rs1)); break;
+      case Op::Cpop: setRd(std::popcount(rs1)); break;
+      case Op::Clzw:
+        setRd(std::countl_zero(static_cast<uint32_t>(rs1)));
+        break;
+      case Op::Ctzw:
+        setRd(std::countr_zero(static_cast<uint32_t>(rs1)));
+        break;
+      case Op::Cpopw:
+        setRd(std::popcount(static_cast<uint32_t>(rs1)));
+        break;
+      case Op::Max: setRd(s64(rs1) > s64(rs2) ? rs1 : rs2); break;
+      case Op::Maxu: setRd(rs1 > rs2 ? rs1 : rs2); break;
+      case Op::Min: setRd(s64(rs1) < s64(rs2) ? rs1 : rs2); break;
+      case Op::Minu: setRd(rs1 < rs2 ? rs1 : rs2); break;
+      case Op::SextB: setRd(static_cast<uint64_t>(sext(rs1, 8))); break;
+      case Op::SextH: setRd(static_cast<uint64_t>(sext(rs1, 16))); break;
+      case Op::ZextH: setRd(rs1 & 0xffff); break;
+      case Op::Rol: setRd(std::rotl(rs1, static_cast<int>(rs2 & 63)));
+        break;
+      case Op::Ror: setRd(std::rotr(rs1, static_cast<int>(rs2 & 63)));
+        break;
+      case Op::Rori: setRd(std::rotr(rs1, static_cast<int>(imm & 63)));
+        break;
+      case Op::Rolw:
+        setRd(sx32(std::rotl(static_cast<uint32_t>(rs1),
+                             static_cast<int>(rs2 & 31))));
+        break;
+      case Op::Rorw:
+        setRd(sx32(std::rotr(static_cast<uint32_t>(rs1),
+                             static_cast<int>(rs2 & 31))));
+        break;
+      case Op::Roriw:
+        setRd(sx32(std::rotr(static_cast<uint32_t>(rs1),
+                             static_cast<int>(imm & 31))));
+        break;
+      case Op::OrcB: {
+        uint64_t r = 0;
+        for (int i = 0; i < 8; ++i)
+            if ((rs1 >> (8 * i)) & 0xff)
+                r |= 0xffULL << (8 * i);
+        setRd(r);
+        break;
+      }
+      case Op::Rev8: {
+        uint64_t r = __builtin_bswap64(rs1);
+        setRd(r);
+        break;
+      }
+
+      // ------------------------------------------------ fences/system
+      case Op::Fence:
+        break;
+      case Op::FenceI:
+        break;
+      case Op::SfenceVma:
+        if (st.priv == Priv::U ||
+            (st.priv == Priv::S && (csr.mstatus & MSTATUS_TVM)))
+            return trapIllegal();
+        mmu.flushTlb();
+        break;
+      case Op::Ecall:
+        switch (st.priv) {
+          case Priv::U: return Trap::make(Exc::EcallFromU);
+          case Priv::S: return Trap::make(Exc::EcallFromS);
+          default: return Trap::make(Exc::EcallFromM);
+        }
+      case Op::Ebreak:
+        return Trap::make(Exc::Breakpoint, pc);
+      case Op::Mret: {
+        if (st.priv != Priv::M)
+            return trapIllegal();
+        uint64_t s = csr.mstatus;
+        auto mpp = static_cast<Priv>((s & MSTATUS_MPP) >> 11);
+        s = (s & ~MSTATUS_MIE) | ((s & MSTATUS_MPIE) ? MSTATUS_MIE : 0);
+        s |= MSTATUS_MPIE;
+        s &= ~MSTATUS_MPP;
+        if (mpp != Priv::M)
+            s &= ~MSTATUS_MPRV;
+        csr.mstatus = s;
+        st.priv = mpp;
+        st.pc = csr.mepc;
+        return Trap::none();
+      }
+      case Op::Sret: {
+        if (st.priv == Priv::U ||
+            (st.priv == Priv::S && (csr.mstatus & MSTATUS_TSR)))
+            return trapIllegal();
+        uint64_t s = csr.mstatus;
+        auto spp = (s & MSTATUS_SPP) ? Priv::S : Priv::U;
+        s = (s & ~MSTATUS_SIE) | ((s & MSTATUS_SPIE) ? MSTATUS_SIE : 0);
+        s |= MSTATUS_SPIE;
+        s &= ~MSTATUS_SPP;
+        if (spp != Priv::M)
+            s &= ~MSTATUS_MPRV;
+        csr.mstatus = s;
+        st.priv = spp;
+        st.pc = csr.sepc;
+        return Trap::none();
+      }
+      case Op::Wfi:
+        if (st.priv == Priv::U)
+            return trapIllegal();
+        break; // modeled as a nop
+
+      // ------------------------------------------------ CSR
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci: {
+        auto addr = static_cast<uint16_t>(imm & 0xfff);
+        bool is_imm = op >= Op::Csrrwi;
+        uint64_t src = is_imm ? di.rs1 : rs1;
+        bool do_write = (op == Op::Csrrw || op == Op::Csrrwi) ||
+                        di.rs1 != 0;
+        bool do_read = !(op == Op::Csrrw || op == Op::Csrrwi) ||
+                       di.rd != 0;
+        uint64_t old = 0;
+        if (do_read || do_write) {
+            if (!csr.read(addr, st.priv, old))
+                return trapIllegal();
+        }
+        if (do_write) {
+            uint64_t newval;
+            switch (op) {
+              case Op::Csrrw: case Op::Csrrwi: newval = src; break;
+              case Op::Csrrs: case Op::Csrrsi: newval = old | src; break;
+              default: newval = old & ~src; break;
+            }
+            if (!csr.write(addr, st.priv, newval))
+                return trapIllegal();
+            if (info) {
+                info->csrWritten = true;
+                info->csrAddr = addr;
+            }
+        }
+        setRd(old);
+        break;
+      }
+
+      // ------------------------------------------------ floating point
+      default: {
+        if (!isFp(op))
+            return trapIllegal();
+        if (!csr.fpEnabled())
+            return trapIllegal();
+        unsigned rm = di.rm;
+        if (rm == 7)
+            rm = csr.frm;
+        if (rm > 4)
+            return trapIllegal();
+        uint64_t a = readsFpRs1(op) ? st.f[di.rs1] : rs1;
+        uint64_t b = st.f[di.rs2];
+        uint64_t c = st.f[di.rs3];
+        fp::FpOut out = fp::fpExec(op, a, b, c, rm, fpb);
+        if (writesFpRd(op)) {
+            st.f[di.rd] = out.value;
+        } else {
+            setRd(out.value);
+        }
+        if (out.flags) {
+            csr.fflags |= out.flags;
+        }
+        csr.setFsDirty();
+        break;
+      }
+    }
+
+    st.pc = next;
+    return Trap::none();
+}
+
+} // namespace minjie::iss

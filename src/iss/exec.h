@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Architectural instruction semantics shared by every execution engine.
+ */
+
+#ifndef MINJIE_ISS_EXEC_H
+#define MINJIE_ISS_EXEC_H
+
+#include "fp/ops.h"
+#include "isa/inst.h"
+#include "iss/arch_state.h"
+#include "iss/mmu.h"
+
+namespace minjie::iss {
+
+/**
+ * Probe-visible side effects of one executed instruction; DiffTest's
+ * information probes are populated from this (paper Section III-B3).
+ */
+struct ExecInfo
+{
+    bool memValid = false;  ///< instruction accessed memory
+    bool isStore = false;
+    bool isMmio = false;    ///< access hit device space (skip in REF)
+    Addr memVaddr = 0;
+    Addr memPaddr = 0;
+    uint64_t memData = 0;   ///< store data / load result
+    uint8_t memSize = 0;
+    bool scFailed = false;  ///< store-conditional failed
+    bool csrWritten = false;
+    uint16_t csrAddr = 0;
+};
+
+/**
+ * Execute @p di against @p st.
+ *
+ * On success the architectural state (registers, CSRs, pc) reflects the
+ * completed instruction and Trap::none() is returned. On a trap the
+ * state is unmodified except as permitted (no partial effects) and the
+ * caller is responsible for takeTrap(). @p info, when non-null, receives
+ * the probe-visible side effects.
+ */
+isa::Trap execInst(ArchState &st, Mmu &mmu, const isa::DecodedInst &di,
+                   fp::FpBackend fpb, ExecInfo *info = nullptr);
+
+} // namespace minjie::iss
+
+#endif // MINJIE_ISS_EXEC_H

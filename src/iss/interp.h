@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Functional interpreter engines.
+ *
+ * Three baseline engines reproduce the architectural differences of the
+ * interpreters compared in the paper's Figure 8 (we implement the
+ * *architectures*, not the tools themselves):
+ *
+ *  - SpikeInterp   — decoded-instruction software cache (direct-mapped,
+ *                    configurable entries, default 16384 as selected in
+ *                    the paper) + switch execution + soft-float;
+ *  - DromajoInterp — fetch + full decode on every instruction, no cache,
+ *                    soft-float;
+ *  - TciInterp     — guest instructions pre-translated into a multi-uop
+ *                    bytecode stream interpreted op-by-op (the QEMU-TCI
+ *                    execution model), soft-float.
+ *
+ * The fast NEMU engine lives in src/nemu/.
+ */
+
+#ifndef MINJIE_ISS_INTERP_H
+#define MINJIE_ISS_INTERP_H
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "isa/decode.h"
+#include "iss/exec.h"
+
+namespace minjie::iss {
+
+/** Result of running an interpreter for a bounded number of steps. */
+struct RunResult
+{
+    InstCount executed = 0;
+    bool halted = false; ///< halt predicate fired (e.g. SimCtrl exit)
+};
+
+/**
+ * Base class owning the architectural state, the MMU and the step loop.
+ * Engines override stepOnce().
+ */
+class Interp
+{
+  public:
+    Interp(mem::MemPort &mem, HartId hart, Addr entry,
+           fp::FpBackend fpb)
+        : mem_(mem), mmu_(st_, mem), fpb_(fpb)
+    {
+        st_.reset(entry, hart);
+    }
+    virtual ~Interp() = default;
+
+    ArchState &state() { return st_; }
+    const ArchState &state() const { return st_; }
+    Mmu &mmu() { return mmu_; }
+
+    /** Optional halt predicate polled between instructions. */
+    void setHaltFn(std::function<bool()> fn) { haltFn_ = std::move(fn); }
+
+    /**
+     * Execute one instruction (committing a trap redirect if raised).
+     * @p info receives probe-visible effects when non-null.
+     * @return the trap taken, or none.
+     */
+    isa::Trap
+    step(ExecInfo *info = nullptr)
+    {
+        isa::Trap t = stepOnce(info);
+        if (t.pending())
+            takeTrap(st_, t, st_.pc);
+        ++st_.instret;
+        ++st_.csr.minstret;
+        ++st_.csr.mcycle;
+        return t;
+    }
+
+    /**
+     * Deliver interrupt @p irq now (DiffTest uses this to force the REF
+     * to take the same interrupt as the DUT).
+     */
+    void raiseInterrupt(isa::Irq irq) { takeInterrupt(st_, irq); }
+
+    /** Run up to @p maxInsts instructions or until the halt predicate. */
+    RunResult
+    run(InstCount maxInsts)
+    {
+        RunResult r;
+        while (r.executed < maxInsts) {
+            step();
+            ++r.executed;
+            if (haltFn_ && haltFn_()) {
+                r.halted = true;
+                break;
+            }
+        }
+        return r;
+    }
+
+  protected:
+    /** Engine-specific fetch/decode/execute of one instruction. */
+    virtual isa::Trap stepOnce(ExecInfo *info) = 0;
+
+    ArchState st_;
+    mem::MemPort &mem_;
+    Mmu mmu_;
+    fp::FpBackend fpb_;
+    std::function<bool()> haltFn_;
+};
+
+/** Spike-proxy: direct-mapped decoded-instruction cache + soft-float. */
+class SpikeInterp : public Interp
+{
+  public:
+    SpikeInterp(mem::MemPort &mem, HartId hart, Addr entry,
+                unsigned cacheEntries = 16384)
+        : Interp(mem, hart, entry, fp::FpBackend::Soft),
+          mask_(cacheEntries - 1), cache_(cacheEntries)
+    {
+    }
+
+    uint64_t decodeCacheHits() const { return hits_; }
+    uint64_t decodeCacheMisses() const { return misses_; }
+
+  protected:
+    isa::Trap stepOnce(ExecInfo *info) override;
+
+  private:
+    struct Entry
+    {
+        Addr pc = ~0ULL;
+        isa::DecodedInst di;
+    };
+    uint64_t mask_;
+    std::vector<Entry> cache_;
+    uint64_t hits_ = 0, misses_ = 0;
+};
+
+/** Dromajo-proxy: no decode cache at all. */
+class DromajoInterp : public Interp
+{
+  public:
+    DromajoInterp(mem::MemPort &mem, HartId hart, Addr entry)
+        : Interp(mem, hart, entry, fp::FpBackend::Soft)
+    {
+    }
+
+  protected:
+    isa::Trap stepOnce(ExecInfo *info) override;
+};
+
+/**
+ * QEMU-TCI proxy: each guest instruction is translated (per basic
+ * block) into several bytecode micro-ops that a nested dispatcher
+ * interprets one by one, reading operands from the byte stream.
+ */
+class TciInterp : public Interp
+{
+  public:
+    TciInterp(mem::MemPort &mem, HartId hart, Addr entry)
+        : Interp(mem, hart, entry, fp::FpBackend::Soft)
+    {
+    }
+
+  protected:
+    isa::Trap stepOnce(ExecInfo *info) override;
+
+  private:
+    // Bytecode ops: a guest instruction expands to LD_OPERANDS,
+    // EXEC, WRITE_BACK, ADVANCE_PC records, mirroring how TCG lowers
+    // one guest op into several TCG ops.
+    enum class Bc : uint8_t { LdOperands, Exec, WriteBack, AdvancePc };
+
+    struct Block
+    {
+        Addr pc = ~0ULL;
+        std::vector<uint8_t> code;
+        std::vector<isa::DecodedInst> insts;
+    };
+
+    static constexpr unsigned BLOCK_CACHE = 4096;
+    Block *lookupBlock(Addr pc, isa::Trap &trap);
+
+    std::vector<Block> blocks_ = std::vector<Block>(BLOCK_CACHE);
+    // Scratch "TCG registers" the bytecode moves operands through.
+    uint64_t tmp_[4] = {};
+};
+
+} // namespace minjie::iss
+
+#endif // MINJIE_ISS_INTERP_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Sv39 MMU: translation, page-table walking, and a small functional TLB.
+ *
+ * This is the functional translation path shared by the interpreters;
+ * the cycle model adds its own timing TLBs (uarch/tlb.h) on top. The
+ * speculative-TLB diff-rule of the paper (Figure 3) exists because a
+ * DUT's cached translation may be staler than this walker's view.
+ */
+
+#ifndef MINJIE_ISS_MMU_H
+#define MINJIE_ISS_MMU_H
+
+#include "common/types.h"
+#include "iss/arch_state.h"
+#include "mem/bus.h"
+
+namespace minjie::iss {
+
+enum class Access : uint8_t { Fetch, Load, Store };
+
+/** Statistics exposed for tests and perf counters. */
+struct MmuStats
+{
+    uint64_t tlbHits = 0;
+    uint64_t tlbMisses = 0;
+    uint64_t pageWalks = 0;
+    uint64_t pageFaults = 0;
+};
+
+class Mmu
+{
+  public:
+    Mmu(ArchState &state, mem::MemPort &mem) : st_(state), mem_(mem)
+    {
+        flushTlb();
+    }
+
+    /**
+     * Translate @p vaddr for @p acc; on success @p paddr holds the
+     * physical address and Trap::none() is returned.
+     */
+    isa::Trap translate(Addr vaddr, Access acc, Addr &paddr);
+
+    /** Virtual load with translation and misalignment handling. */
+    isa::Trap load(Addr vaddr, unsigned size, uint64_t &data);
+
+    /** Virtual store. */
+    isa::Trap store(Addr vaddr, unsigned size, uint64_t data);
+
+    /**
+     * Fetch one instruction at @p vaddr (16-bit aware; handles fetches
+     * that cross a page boundary).
+     */
+    isa::Trap fetch(Addr vaddr, uint32_t &raw);
+
+    /** sfence.vma: drop all cached translations. */
+    void flushTlb();
+
+    /** True when translation is active for data accesses. */
+    bool translationOn() const;
+
+    const MmuStats &stats() const { return stats_; }
+    mem::MemPort &mem() { return mem_; }
+
+    /** Last translated physical address (probe support). */
+    Addr lastPaddr() const { return lastPaddr_; }
+
+  private:
+    struct TlbEntry
+    {
+        Addr vpn = ~0ULL;
+        Addr ppn = 0;
+        uint8_t perms = 0; // pte low bits (V/R/W/X/U/A/D)
+        bool valid = false;
+    };
+
+    static constexpr unsigned TLB_SIZE = 256;
+
+    isa::Trap walk(Addr vaddr, Access acc, isa::Priv eff_priv, Addr &paddr);
+    isa::Priv effectivePriv(Access acc) const;
+    isa::Exc faultFor(Access acc) const;
+
+    ArchState &st_;
+    mem::MemPort &mem_;
+    TlbEntry tlb_[TLB_SIZE];
+    MmuStats stats_;
+    Addr lastPaddr_ = 0;
+};
+
+} // namespace minjie::iss
+
+#endif // MINJIE_ISS_MMU_H

@@ -1,0 +1,148 @@
+#include "lightsss/lightsss.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/clock.h"
+#include "common/log.h"
+
+namespace minjie::lightsss {
+
+namespace {
+
+/** Control message from parent to a snapshot child. */
+struct WakeMsg
+{
+    uint64_t action; ///< 0 = die, 1 = replay
+    uint64_t targetCycle;
+};
+
+} // namespace
+
+LightSSS::LightSSS(const LightSssConfig &cfg) : cfg_(cfg) {}
+
+LightSSS::~LightSSS()
+{
+    discardAll();
+}
+
+void
+LightSSS::discardAll()
+{
+    for (auto &snap : snapshots_) {
+        WakeMsg msg{0, 0};
+        (void)!write(snap.wakeFd, &msg, sizeof(msg));
+        close(snap.wakeFd);
+        int status;
+        waitpid(snap.pid, &status, 0);
+    }
+    snapshots_.clear();
+}
+
+LightSSS::Role
+LightSSS::tick(Cycle now)
+{
+    if (!cfg_.enabled)
+        return Role::Parent;
+    if (now - lastForkCycle_ < cfg_.intervalCycles && now != 0)
+        return Role::Parent;
+    lastForkCycle_ = now;
+
+    // Drop the oldest snapshot beyond the retention limit BEFORE
+    // forking, so at most keepSnapshots processes exist at once.
+    while (snapshots_.size() >= cfg_.keepSnapshots) {
+        Snapshot old = snapshots_.front();
+        snapshots_.pop_front();
+        WakeMsg msg{0, 0};
+        (void)!write(old.wakeFd, &msg, sizeof(msg));
+        close(old.wakeFd);
+        int status;
+        waitpid(old.pid, &status, 0);
+        ++stats_.kills;
+    }
+
+    int pipefd[2];
+    if (pipe(pipefd) != 0) {
+        MJ_WARN("LightSSS: pipe() failed: %s", strerror(errno));
+        return Role::Parent;
+    }
+
+    Stopwatch sw;
+    pid_t pid = fork();
+    if (pid < 0) {
+        MJ_WARN("LightSSS: fork() failed: %s", strerror(errno));
+        close(pipefd[0]);
+        close(pipefd[1]);
+        return Role::Parent;
+    }
+
+    if (pid == 0) {
+        // Snapshot child: release inherited snapshot handles (they
+        // belong to the parent) and sleep until woken.
+        close(pipefd[1]);
+        for (auto &snap : snapshots_)
+            close(snap.wakeFd);
+        snapshots_.clear();
+
+        WakeMsg msg{};
+        ssize_t got = read(pipefd[0], &msg, sizeof(msg));
+        close(pipefd[0]);
+        if (got != sizeof(msg) || msg.action == 0)
+            _exit(0); // dropped: this snapshot was never needed
+
+        // Woken for replay: the caller re-runs the window in debug mode.
+        snapshotCycle_ = now;
+        replayTarget_ = msg.targetCycle;
+        return Role::ReplayChild;
+    }
+
+    // Parent.
+    close(pipefd[0]);
+    snapshots_.push_back({pid, pipefd[1], now});
+    ++stats_.forks;
+    stats_.lastForkUs = sw.elapsedUs();
+    stats_.totalForkUs += stats_.lastForkUs;
+    return Role::Parent;
+}
+
+bool
+LightSSS::triggerReplay(Cycle failCycle)
+{
+    if (snapshots_.empty())
+        return false;
+
+    // Wake the oldest snapshot (paper: "the second to last snapshot"),
+    // giving the longest pre-failure window in the replay.
+    Snapshot oldest = snapshots_.front();
+    snapshots_.pop_front();
+    WakeMsg msg{1, failCycle};
+    if (write(oldest.wakeFd, &msg, sizeof(msg)) != sizeof(msg)) {
+        MJ_WARN("LightSSS: failed to wake snapshot %d", oldest.pid);
+        close(oldest.wakeFd);
+        return false;
+    }
+    close(oldest.wakeFd);
+
+    int status = 0;
+    waitpid(oldest.pid, &status, 0);
+    MJ_INFO("LightSSS: replay child %d finished with status %d",
+            oldest.pid, WEXITSTATUS(status));
+
+    // Remaining (younger) snapshots are no longer needed.
+    discardAll();
+    return true;
+}
+
+void
+LightSSS::finishReplay(int exitCode)
+{
+    std::fflush(nullptr);
+    _exit(exitCode);
+}
+
+} // namespace minjie::lightsss

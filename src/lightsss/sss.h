@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SSS: the circuit-dependent full-image snapshot baseline (paper
+ * Section III-C2, Table I). Every snapshot concatenates the entire
+ * simulator state — architectural state plus every allocated DRAM
+ * page — into one in-memory image, the approach whose 10-20%% overhead
+ * (LiveSim) and multi-second snapshot times motivate LightSSS.
+ */
+
+#ifndef MINJIE_LIGHTSSS_SSS_H
+#define MINJIE_LIGHTSSS_SSS_H
+
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "common/clock.h"
+#include "iss/arch_state.h"
+#include "mem/physmem.h"
+
+namespace minjie::lightsss {
+
+class SssSnapshotter
+{
+  public:
+    /** @param keep retained snapshot count (match LightSSS for
+     *  comparable memory behaviour). */
+    explicit SssSnapshotter(mem::PhysMem &dram, unsigned keep = 2)
+        : dram_(dram), keep_(keep)
+    {
+    }
+
+    /** Capture a full image; returns the bytes copied. */
+    size_t
+    takeSnapshot(const iss::ArchState &st, Cycle cycle)
+    {
+        Stopwatch sw;
+        Image img;
+        img.cycle = cycle;
+        img.state = st;
+        img.pages.reserve(dram_.allocatedPages());
+        dram_.forEachPage([&](Addr base, const uint8_t *data) {
+            img.pages.emplace_back();
+            img.pages.back().base = base;
+            std::memcpy(img.pages.back().bytes, data,
+                        mem::PhysMem::PAGE_SIZE);
+        });
+        size_t bytes = sizeof(iss::ArchState) +
+                       img.pages.size() * mem::PhysMem::PAGE_SIZE;
+        images_.push_back(std::move(img));
+        while (images_.size() > keep_)
+            images_.pop_front();
+        lastSnapshotUs_ = sw.elapsedUs();
+        totalSnapshotUs_ += lastSnapshotUs_;
+        ++snapshots_;
+        return bytes;
+    }
+
+    /** Restore the oldest retained image. @return its cycle. */
+    Cycle
+    restoreOldest(iss::ArchState &st)
+    {
+        const Image &img = images_.front();
+        st = img.state;
+        dram_.clear();
+        for (const auto &page : img.pages)
+            dram_.load(page.base, page.bytes, mem::PhysMem::PAGE_SIZE);
+        return img.cycle;
+    }
+
+    bool hasSnapshot() const { return !images_.empty(); }
+    uint64_t lastSnapshotUs() const { return lastSnapshotUs_; }
+    uint64_t totalSnapshotUs() const { return totalSnapshotUs_; }
+    uint64_t snapshots() const { return snapshots_; }
+
+  private:
+    struct Page
+    {
+        Addr base;
+        uint8_t bytes[mem::PhysMem::PAGE_SIZE];
+    };
+    struct Image
+    {
+        Cycle cycle;
+        iss::ArchState state;
+        std::vector<Page> pages;
+    };
+
+    mem::PhysMem &dram_;
+    unsigned keep_;
+    std::deque<Image> images_;
+    uint64_t lastSnapshotUs_ = 0;
+    uint64_t totalSnapshotUs_ = 0;
+    uint64_t snapshots_ = 0;
+};
+
+} // namespace minjie::lightsss
+
+#endif // MINJIE_LIGHTSSS_SSS_H

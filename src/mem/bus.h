@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The system bus: routes physical accesses to DRAM or MMIO devices.
+ */
+
+#ifndef MINJIE_MEM_BUS_H
+#define MINJIE_MEM_BUS_H
+
+#include <vector>
+
+#include "mem/device.h"
+#include "mem/physmem.h"
+
+namespace minjie::mem {
+
+/** Abstract physical-memory port used by the MMU and the executors. */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+    /** @return false on access fault. */
+    virtual bool read(Addr paddr, unsigned size, uint64_t &data) = 0;
+    virtual bool write(Addr paddr, unsigned size, uint64_t data) = 0;
+    /** True when @p paddr hits a device rather than DRAM. */
+    virtual bool isMmio(Addr paddr) const = 0;
+};
+
+/**
+ * Routes accesses by address: DRAM window to PhysMem, device windows to
+ * their devices. Devices are borrowed, not owned, so a SoC can keep
+ * typed references to them.
+ */
+class Bus : public MemPort
+{
+  public:
+    explicit Bus(PhysMem &dram) : dram_(dram) {}
+
+    void addDevice(Device *dev) { devices_.push_back(dev); }
+
+    bool
+    read(Addr paddr, unsigned size, uint64_t &data) override
+    {
+        if (dram_.contains(paddr, size))
+            return dram_.read(paddr, size, data);
+        if (Device *d = find(paddr))
+            return d->read(paddr - d->base(), size, data);
+        return false;
+    }
+
+    bool
+    write(Addr paddr, unsigned size, uint64_t data) override
+    {
+        if (dram_.contains(paddr, size))
+            return dram_.write(paddr, size, data);
+        if (Device *d = find(paddr))
+            return d->write(paddr - d->base(), size, data);
+        return false;
+    }
+
+    bool
+    isMmio(Addr paddr) const override
+    {
+        return !dram_.contains(paddr) && findConst(paddr) != nullptr;
+    }
+
+    PhysMem &dram() { return dram_; }
+
+  private:
+    Device *
+    find(Addr paddr)
+    {
+        for (auto *d : devices_)
+            if (d->contains(paddr))
+                return d;
+        return nullptr;
+    }
+
+    const Device *
+    findConst(Addr paddr) const
+    {
+        for (auto *d : devices_)
+            if (d->contains(paddr))
+                return d;
+        return nullptr;
+    }
+
+    PhysMem &dram_;
+    std::vector<Device *> devices_;
+};
+
+} // namespace minjie::mem
+
+#endif // MINJIE_MEM_BUS_H

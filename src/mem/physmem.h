@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sparse physical memory backing the simulated DRAM.
+ */
+
+#ifndef MINJIE_MEM_PHYSMEM_H
+#define MINJIE_MEM_PHYSMEM_H
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace minjie::mem {
+
+/**
+ * Byte-addressable sparse memory. Pages are allocated on first touch so
+ * a 16 GB guest-physical space costs only what the workload dirties —
+ * this is also what makes LightSSS fork()/COW snapshots cheap.
+ */
+class PhysMem
+{
+  public:
+    static constexpr unsigned PAGE_SHIFT = 12;
+    static constexpr Addr PAGE_SIZE = 1ULL << PAGE_SHIFT;
+    static constexpr Addr PAGE_MASK = PAGE_SIZE - 1;
+
+    /** @param base  lowest valid address  @param size  bytes of DRAM */
+    PhysMem(Addr base, uint64_t size) : base_(base), size_(size) {}
+
+    Addr base() const { return base_; }
+    uint64_t size() const { return size_; }
+
+    bool
+    contains(Addr addr, unsigned bytes = 1) const
+    {
+        return addr >= base_ && addr + bytes <= base_ + size_;
+    }
+
+    /**
+     * Read @p size bytes (1/2/4/8) at @p addr into @p data.
+     * Misaligned and page-crossing accesses are handled bytewise.
+     * @return false if the range is outside DRAM.
+     */
+    bool
+    read(Addr addr, unsigned size, uint64_t &data)
+    {
+        if (!contains(addr, size))
+            return false;
+        uint8_t *p = pagePtr(addr);
+        if (((addr & PAGE_MASK) + size) <= PAGE_SIZE) {
+            data = 0;
+            std::memcpy(&data, p, size);
+        } else {
+            data = 0;
+            for (unsigned i = 0; i < size; ++i)
+                data |= static_cast<uint64_t>(*bytePtr(addr + i)) << (8 * i);
+        }
+        return true;
+    }
+
+    /** Write @p size bytes of @p data at @p addr. */
+    bool
+    write(Addr addr, unsigned size, uint64_t data)
+    {
+        if (!contains(addr, size))
+            return false;
+        uint8_t *p = pagePtr(addr);
+        if (((addr & PAGE_MASK) + size) <= PAGE_SIZE) {
+            std::memcpy(p, &data, size);
+        } else {
+            for (unsigned i = 0; i < size; ++i)
+                *bytePtr(addr + i) = static_cast<uint8_t>(data >> (8 * i));
+        }
+        return true;
+    }
+
+    /** Bulk copy-in used by the program loader. */
+    void
+    load(Addr addr, const void *src, size_t len)
+    {
+        const auto *s = static_cast<const uint8_t *>(src);
+        for (size_t i = 0; i < len; ++i)
+            *bytePtr(addr + i) = s[i];
+    }
+
+    /**
+     * Host pointer to the page containing @p addr (allocating it). Valid
+     * until the next snapshot/restore; used by the fast interpreters.
+     */
+    uint8_t *pagePtr(Addr addr) { return bytePtr(addr); }
+
+    /** Number of pages currently allocated. */
+    size_t allocatedPages() const { return pages_.size(); }
+
+    /** Visit every allocated page (for checkpoints and SSS snapshots). */
+    template <typename Fn>
+    void
+    forEachPage(Fn &&fn) const
+    {
+        for (const auto &[pfn, page] : pages_)
+            fn(pfn << PAGE_SHIFT, page->data());
+    }
+
+    /** Drop all contents (used when restoring a checkpoint). */
+    void clear() { pages_.clear(); lastPfn_ = ~0ULL; lastPage_ = nullptr; }
+
+  private:
+    using Page = std::vector<uint8_t>;
+
+    uint8_t *
+    bytePtr(Addr addr)
+    {
+        Addr pfn = addr >> PAGE_SHIFT;
+        if (pfn != lastPfn_) {
+            auto &slot = pages_[pfn];
+            if (!slot)
+                slot = std::make_unique<Page>(PAGE_SIZE, 0);
+            lastPfn_ = pfn;
+            lastPage_ = slot->data();
+        }
+        return lastPage_ + (addr & PAGE_MASK);
+    }
+
+    Addr base_;
+    uint64_t size_;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    Addr lastPfn_ = ~0ULL;
+    uint8_t *lastPage_ = nullptr;
+};
+
+} // namespace minjie::mem
+
+#endif // MINJIE_MEM_PHYSMEM_H

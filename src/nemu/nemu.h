@@ -1,0 +1,130 @@
+/**
+ * @file
+ * NEMU: the fast threaded-code RV64 interpreter (paper Section III-D).
+ *
+ * Faithfully reimplements the performance techniques of Figure 7:
+ *  - a trace-organized uop cache storing fully-decoded results (operand
+ *    register pointers, inlined immediates, handler addresses), with
+ *    entries allocated sequentially along the dynamic instruction
+ *    stream so intra-block advance is "+1" and conflict misses cannot
+ *    occur (entries are only dropped by whole-cache flushes);
+ *  - threaded-code dispatch via computed goto;
+ *  - block chaining for direct jumps/branches and a hash list for
+ *    indirect jumps;
+ *  - the zero-register redirect: uops targeting x0 write to a sink
+ *    variable instead of checking rd on every instruction;
+ *  - host floating point execution (fp::FpBackend::Host);
+ *  - pseudo-instruction specialization (e.g. a jal with rd=x0 uses a
+ *    link-free handler; li-like addi with rs1=x0 loads the immediate).
+ *
+ * NEMU also doubles as the DiffTest REF (paper Section III-B): the
+ * Interp::step() path executes through the same uop cache but one
+ * instruction at a time with probe extraction.
+ */
+
+#ifndef MINJIE_NEMU_NEMU_H
+#define MINJIE_NEMU_NEMU_H
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "iss/interp.h"
+#include "mem/physmem.h"
+
+namespace minjie::nemu {
+
+/** Statistics from the uop cache. */
+struct NemuStats
+{
+    uint64_t uopHits = 0;      ///< dispatches served from the cache
+    uint64_t translations = 0; ///< instructions fetched+decoded
+    uint64_t flushes = 0;      ///< whole-cache flushes
+    uint64_t chainResolves = 0;
+};
+
+class Nemu : public iss::Interp
+{
+  public:
+    /**
+     * @param bus         full system bus (MMIO and translated accesses)
+     * @param dram        DRAM for the direct fast path
+     * @param uopCacheCap uop cache capacity (paper selects 16384)
+     */
+    Nemu(mem::MemPort &bus, mem::PhysMem &dram, HartId hart, Addr entry,
+         unsigned uopCacheCap = 16384);
+
+    /** Fast threaded-code execution of up to @p maxInsts instructions. */
+    iss::RunResult run(InstCount maxInsts);
+
+    /** Drop every uop (fence.i, satp change, cache full). */
+    void flushUopCache();
+
+    const NemuStats &stats() const { return stats_; }
+
+    /**
+     * Basic-block profiling hook for SimPoint BBV collection: invoked
+     * with (block start pc, block length in instructions) every time a
+     * control transfer ends a block. Enabling this uses the slower
+     * step-path dispatch.
+     */
+    void
+    setBlockHook(std::function<void(Addr, uint32_t)> hook)
+    {
+        blockHook_ = std::move(hook);
+    }
+
+  protected:
+    isa::Trap stepOnce(iss::ExecInfo *info) override;
+
+  private:
+    /** One decoded micro-operation in the trace cache. */
+    struct Uop
+    {
+        const void *handler = nullptr;
+        uint64_t *rd = nullptr;       ///< destination (sink for x0)
+        const uint64_t *rs1 = nullptr;
+        const uint64_t *rs2 = nullptr;
+        int64_t imm = 0;
+        Addr pc = 0;
+        uint8_t size = 4;
+        int32_t next = -1;            ///< chained fallthrough uop
+        int32_t target = -1;          ///< chained taken-target uop
+        isa::DecodedInst di;          ///< full decode for slow handlers
+    };
+
+    /** Find (or translate) the uop index for @p pc; -1 on fetch trap. */
+    int32_t lookupOrTranslate(Addr pc, isa::Trap &trap);
+
+    /** Translate one basic block starting at @p pc into the cache. */
+    int32_t translateBlock(Addr pc, isa::Trap &trap);
+
+    /** Assign the threaded-code handler for @p di into @p u. */
+    void assignHandler(Uop &u, const isa::DecodedInst &di);
+
+    /** True when the direct-DRAM fast path is usable. */
+    bool
+    fastMemOk() const
+    {
+        return st_.priv == isa::Priv::M &&
+               (st_.csr.mstatus & isa::MSTATUS_MPRV) == 0;
+    }
+
+    mem::PhysMem &dram_;
+    unsigned cap_;
+    std::vector<Uop> uops_;
+    std::unordered_map<Addr, int32_t> pcMap_;
+    NemuStats stats_;
+    uint64_t sink_ = 0; ///< zero-register write target
+    std::function<void(Addr, uint32_t)> blockHook_;
+    Addr blockStart_ = ~0ULL; ///< step-path BBV tracking
+    uint32_t blockLen_ = 0;
+
+    // Handler dispatch table, filled by the first run() invocation.
+    static const void *const *handlerTable();
+    friend struct NemuExec;
+};
+
+} // namespace minjie::nemu
+
+#endif // MINJIE_NEMU_NEMU_H

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Timing model of a coherent multi-level cache hierarchy.
+ *
+ * Data lives in the functional PhysMem; these caches track tags, MESI
+ * states, LRU and MSHR occupancy, and return access latencies. Parent
+ * caches coordinate coherence with TileLink-flavoured transactions
+ * (Acquire / Probe / Grant / Release) that are reported to an optional
+ * transaction log — the paper's ArchDB records exactly these, and the
+ * DiffTest permission scoreboard (Section III-B2b) checks them.
+ */
+
+#ifndef MINJIE_UARCH_CACHE_H
+#define MINJIE_UARCH_CACHE_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace minjie::uarch {
+
+/** Geometry and latency of one cache level. */
+struct CacheCfg
+{
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned hitLatency = 2;
+    unsigned lineBytes = 64;
+    bool inclusive = false; ///< back-invalidates children on eviction
+    unsigned mshrs = 8;     ///< outstanding-miss capacity
+};
+
+/** MESI line states. */
+enum class CohState : uint8_t { I, S, E, M };
+
+/** Coherence/bus transaction kinds (TileLink-flavoured). */
+enum class TxnKind : uint8_t {
+    AcquireShared,    ///< child requests read permission
+    AcquireExclusive, ///< child requests write permission
+    GrantShared,
+    GrantExclusive,
+    ProbeShared,      ///< downgrade a peer to S
+    ProbeInvalid,     ///< invalidate a peer
+    Release,          ///< dirty writeback from child
+    MemRead,
+    MemWrite,
+};
+
+const char *txnKindName(TxnKind kind);
+
+/** One observed transaction, for ArchDB and the permission scoreboard. */
+struct Transaction
+{
+    TxnKind kind;
+    Addr line;              ///< line-aligned address
+    const void *cache;      ///< cache the transaction concerns
+    const char *cacheName;
+    Cycle at;
+};
+
+using TxnLog = std::function<void(const Transaction &)>;
+
+/** DRAM timing: fixed AMAT (the paper's FPGA configs) or a DDR-like
+ *  channel model with row-buffer hits (the RTL-simulation configs). */
+struct DramCfg
+{
+    enum class Mode { FixedAmat, Ddr };
+    Mode mode = Mode::FixedAmat;
+    unsigned amatCycles = 90;   ///< FixedAmat: flat latency
+    unsigned ddrBase = 170;     ///< Ddr: closed-row access latency
+    unsigned ddrRowHit = 110;   ///< Ddr: open-row access latency
+    unsigned burstCycles = 8;   ///< channel occupancy per access
+    unsigned channels = 2;
+};
+
+class DramModel
+{
+  public:
+    explicit DramModel(const DramCfg &cfg) : cfg_(cfg)
+    {
+        busy_.assign(cfg.channels, 0);
+        openRow_.assign(cfg.channels, ~0ULL);
+    }
+
+    /** Latency of an access issued at @p now. */
+    unsigned
+    access(Addr addr, Cycle now, bool write)
+    {
+        ++accesses_;
+        if (cfg_.mode == DramCfg::Mode::FixedAmat)
+            return cfg_.amatCycles;
+        unsigned ch = (addr >> 6) % cfg_.channels;
+        Cycle start = now > busy_[ch] ? now : busy_[ch];
+        uint64_t row = addr >> 13;
+        unsigned lat = openRow_[ch] == row ? cfg_.ddrRowHit : cfg_.ddrBase;
+        openRow_[ch] = row;
+        busy_[ch] = start + cfg_.burstCycles;
+        return static_cast<unsigned>(start - now) + lat;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+
+  private:
+    DramCfg cfg_;
+    std::vector<Cycle> busy_;
+    std::vector<uint64_t> openRow_;
+    uint64_t accesses_ = 0;
+};
+
+/** Per-cache statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t probesReceived = 0;
+    uint64_t upgrades = 0;
+    uint64_t mshrStalls = 0;
+};
+
+/**
+ * One cache level. Parents own coherence among their children.
+ */
+class Cache
+{
+  public:
+    Cache(std::string name, const CacheCfg &cfg, Cache *parent,
+          DramModel *dram);
+
+    /** Register @p child for coherence probes. */
+    void addChild(Cache *child) { children_.push_back(child); }
+
+    /**
+     * Access @p paddr at cycle @p now.
+     * @param write  requires exclusive permission
+     * @return latency in cycles until data is available
+     */
+    unsigned access(Addr paddr, bool write, Cycle now);
+
+    /** Does this cache (not counting children) hold the line? */
+    bool holds(Addr line) const;
+    CohState state(Addr line) const;
+
+    /** Invalidate everything (used by checkpoint restore). */
+    void flushAll();
+
+    const CacheStats &stats() const { return stats_; }
+    const std::string &name() const { return name_; }
+    const CacheCfg &cfg() const { return cfg_; }
+
+    /** Install a transaction observer on this level and below. */
+    void setTxnLog(TxnLog log);
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        CohState st = CohState::I;
+        uint64_t lru = 0;
+    };
+
+    struct Mshr
+    {
+        Addr line = ~0ULL;
+        Cycle readyAt = 0;
+    };
+
+    Addr lineAddr(Addr paddr) const { return paddr & ~lineMask_; }
+    unsigned setIndex(Addr line) const;
+    Line *findLine(Addr line);
+    const Line *findLine(Addr line) const;
+
+    /**
+     * Serve a child's Acquire. Handles peer probes, self lookup, and
+     * recursion toward memory.
+     * @param requester     the child asking (nullptr = self/L1 path)
+     * @param exclusive     write permission required
+     * @param grantExcl     out: true when the grant is E/M-capable
+     * @return latency contribution
+     */
+    unsigned acquire(Cache *requester, Addr line, bool exclusive,
+                     bool &grantExcl, Cycle now);
+
+    /** Recursively drop the line (peer invalidation / back-inval). */
+    unsigned probeInvalidate(Addr line, Cycle now);
+
+    /** Recursively downgrade to shared. */
+    unsigned probeShared(Addr line, Cycle now);
+
+    /** Install @p line in this array, evicting as needed. */
+    unsigned install(Addr line, CohState st, Cycle now);
+
+    /** Account an MSHR slot; returns extra delay and merge latency. */
+    unsigned mshrDelay(Addr line, Cycle now, unsigned missLatency);
+
+    void
+    log(TxnKind kind, Addr line, Cycle at) const
+    {
+        if (txnLog_)
+            txnLog_({kind, line, this, name_.c_str(), at});
+    }
+
+    std::string name_;
+    CacheCfg cfg_;
+    Cache *parent_;
+    DramModel *dram_;
+    std::vector<Cache *> children_;
+    std::vector<Line> lines_;
+    std::vector<Mshr> mshrs_;
+    unsigned sets_;
+    Addr lineMask_;
+    uint64_t tick_ = 0;
+    CacheStats stats_;
+    TxnLog txnLog_;
+};
+
+} // namespace minjie::uarch
+
+#endif // MINJIE_UARCH_CACHE_H

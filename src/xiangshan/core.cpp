@@ -1,0 +1,879 @@
+#include "xiangshan/core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "isa/decode.h"
+
+namespace minjie::xs {
+
+using namespace minjie::isa;
+using namespace minjie::iss;
+
+namespace {
+
+/** Does this instruction architecturally write an integer rd? */
+bool
+writesIntRd(const DecodedInst &di)
+{
+    Op op = di.op;
+    if (di.rd == 0)
+        return false;
+    if (isFp(op))
+        return !writesFpRd(op) && op != Op::Fsw && op != Op::Fsd;
+    if (isCondBranch(op) || (isStore(op) && !isSc(op)))
+        return false;
+    switch (op) {
+      case Op::Fence: case Op::FenceI: case Op::Ecall: case Op::Ebreak:
+      case Op::Mret: case Op::Sret: case Op::Wfi: case Op::SfenceVma:
+      case Op::Illegal:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** Rename-map slot for a source register. */
+unsigned
+srcSlot(unsigned reg, bool fp)
+{
+    return (fp ? 32 : 0) + reg;
+}
+
+/** Is this a register-to-register move the rename stage can eliminate? */
+bool
+isEliminableMove(const DecodedInst &di)
+{
+    if (di.rd == 0)
+        return false;
+    if (di.op == Op::Addi && di.imm == 0 && di.rs1 != 0)
+        return true;
+    if (di.op == Op::Add && (di.rs1 == 0 || di.rs2 == 0))
+        return true;
+    return false;
+}
+
+} // namespace
+
+Core::Core(const CoreConfig &cfg, HartId hart, iss::System &sys,
+           uarch::MemHierarchy &mem, Addr entry)
+    : cfg_(cfg), hart_(hart), sys_(sys), mem_(mem), mmu_(oracle_, sys.bus),
+      ubtb_(cfg.ubtbEntries), btb_(cfg.btbEntries), tage_(cfg.tageEntries),
+      ittage_(512), ras_(cfg.rasDepth)
+{
+    oracle_.reset(entry, hart);
+    oracle_.csr.timeSrc = nullptr;
+    renameMap_.assign(64, 0);
+    for (unsigned i = 0; i < N_FU; ++i)
+        fuBusyUntil_[i].assign(cfg_.fu[i].pipelined ? 0 : cfg_.fu[i].count,
+                               0);
+}
+
+bool
+Core::done() const
+{
+    return oracleHalted_ && rob_.empty() && fetchBuffer_.empty() &&
+           storeBuffer_.empty();
+}
+
+Core::Rec *
+Core::recBySeq(uint64_t seq)
+{
+    if (seq == 0 || seq <= lastCommittedSeq_)
+        return nullptr;
+    if (!rob_.empty() && seq >= rob_.front().seq &&
+        seq <= rob_.back().seq) {
+        return &rob_[seq - rob_.front().seq];
+    }
+    for (auto &r : fetchBuffer_)
+        if (r.seq == seq)
+            return &r;
+    return nullptr;
+}
+
+bool
+Core::srcReady(uint64_t producerSeq) const
+{
+    if (producerSeq == 0 || producerSeq <= lastCommittedSeq_)
+        return true;
+    auto *self = const_cast<Core *>(this);
+    const Rec *rec = self->recBySeq(producerSeq);
+    if (!rec)
+        return true;
+    return rec->completedAt != 0 && rec->completedAt <= now_;
+}
+
+bool
+Core::allSrcsReady(const Rec &rec) const
+{
+    return srcReady(rec.src[0]) && srcReady(rec.src[1]) &&
+           srcReady(rec.src[2]);
+}
+
+void
+Core::fillCsrProbe(difftest::CsrProbe &p) const
+{
+    const auto &csr = oracle_.csr;
+    p.hart = hart_;
+    p.mstatus = csr.mstatus;
+    p.mepc = csr.mepc;
+    p.mcause = csr.mcause;
+    p.mtval = csr.mtval;
+    p.mtvec = csr.mtvec;
+    p.mscratch = csr.mscratch;
+    p.mie = csr.mie;
+    p.mip = csr.mip;
+    p.medeleg = csr.medeleg;
+    p.mideleg = csr.mideleg;
+    p.sepc = csr.sepc;
+    p.scause = csr.scause;
+    p.stval = csr.stval;
+    p.stvec = csr.stvec;
+    p.sscratch = csr.sscratch;
+    p.satp = csr.satp;
+    p.mcycle = csr.mcycle;
+    p.minstret = csr.minstret;
+    p.fflags = csr.fflags;
+    p.frm = csr.frm;
+    p.priv = static_cast<uint8_t>(oracle_.priv);
+    p.misa = csr.misa;
+    p.mvendorid = 0;
+    p.marchid = 25;
+    p.mimpid = 0;
+    p.mhartid = csr.mhartid;
+    p.mcounteren = csr.mcounteren;
+    p.scounteren = csr.scounteren;
+    p.pmpcfg0 = csr.pmpcfg0;
+    p.pmpaddr0 = csr.pmpaddr0;
+    p.timeVal = csr.timeSrc ? *csr.timeSrc : 0;
+}
+
+bool
+Core::oracleStep(Rec &rec)
+{
+    rec.pc = oracle_.pc;
+    rec.probe.hart = hart_;
+    rec.probe.pc = rec.pc;
+
+    // Asynchronous interrupts: mirror the CLINT lines into mip, and
+    // take a deliverable interrupt at this instruction boundary. The
+    // REF cannot predict this timing — DiffTest's forced-interrupt
+    // diff-rule replays it (the Dromajo approach, Section V-C).
+    {
+        auto &csr = oracle_.csr;
+        uint64_t mip = csr.mip & ~(MIP_MTIP | MIP_MSIP);
+        if (sys_.clint.timerIrq(hart_))
+            mip |= MIP_MTIP;
+        if (sys_.clint.softwareIrq(hart_))
+            mip |= MIP_MSIP;
+        csr.mip = mip;
+        uint64_t irq = pendingInterrupt(oracle_);
+        if (irq != ~0ULL) {
+            takeInterrupt(oracle_, static_cast<Irq>(irq));
+            rec.trapped = true;
+            rec.trapCause = irq;
+            rec.serialize = true;
+            rec.fu = FuType::Jmp;
+            rec.nextPc = oracle_.pc;
+            rec.probe.interrupt = true;
+            rec.probe.trapCause = irq;
+            return true;
+        }
+    }
+
+    uint32_t raw;
+    Trap ft = mmu_.fetch(rec.pc, raw);
+    rec.instPaddr = mmu_.lastPaddr();
+
+    if (ft.pending()) {
+        takeTrap(oracle_, ft, rec.pc);
+        ++oracle_.instret;
+        rec.trapped = true;
+        rec.trapCause = static_cast<uint64_t>(ft.cause);
+        rec.serialize = true;
+        rec.fu = FuType::Jmp;
+        rec.nextPc = oracle_.pc;
+        rec.probe.trap = true;
+        rec.probe.trapCause = rec.trapCause;
+        return true;
+    }
+
+    rec.di = decode(raw);
+    rec.probe.inst = raw;
+    rec.probe.rd = rec.di.rd;
+
+    if (injectPageFault_ && isLoad(rec.di.op)) {
+        // Speculative-TLB fault injection (Figure 3): fault instead of
+        // executing; the trap value is the load's virtual address.
+        injectPageFault_ = false;
+        Addr vaddr = oracle_.x[rec.di.rs1] +
+                     static_cast<uint64_t>(rec.di.imm);
+        Trap t = Trap::make(Exc::LoadPageFault, vaddr);
+        takeTrap(oracle_, t, rec.pc);
+        ++oracle_.instret;
+        ++oracle_.csr.minstret;
+        ++oracle_.csr.mcycle;
+        rec.trapped = true;
+        rec.trapCause = static_cast<uint64_t>(Exc::LoadPageFault);
+        rec.serialize = true;
+        rec.fu = FuType::Jmp;
+        rec.nextPc = oracle_.pc;
+        rec.probe.trap = true;
+        rec.probe.trapCause = rec.trapCause;
+        rec.probe.memVaddr = vaddr;
+        return true;
+    }
+
+    ExecInfo info;
+    Trap et = execInst(oracle_, mmu_, rec.di, fp::FpBackend::Host, &info);
+    if (et.pending()) {
+        takeTrap(oracle_, et, rec.pc);
+        rec.trapped = true;
+        rec.trapCause = static_cast<uint64_t>(et.cause);
+        rec.probe.trap = true;
+        rec.probe.trapCause = rec.trapCause;
+    }
+    ++oracle_.instret;
+    ++oracle_.csr.minstret;
+    ++oracle_.csr.mcycle;
+
+    rec.nextPc = oracle_.pc;
+    Op op = rec.di.op;
+    rec.fu = fuType(op);
+    if (rec.trapped)
+        rec.fu = FuType::Jmp;
+    rec.taken = isCondBranch(op) && rec.nextPc != rec.pc + rec.di.size;
+    rec.serialize = rec.trapped || isSystem(op) || isFence(op) ||
+                    isCsr(op) || isAmo(op);
+
+    if (!rec.trapped) {
+        if (writesIntRd(rec.di)) {
+            rec.probe.rdWritten = true;
+            rec.probe.rdValue = oracle_.x[rec.di.rd];
+        } else if (writesFpRd(op)) {
+            rec.probe.fpWritten = true;
+            rec.probe.rdValue = oracle_.f[rec.di.rd];
+        }
+        if (info.memValid) {
+            rec.probe.isLoad = !info.isStore;
+            rec.probe.isStore = info.isStore;
+            rec.probe.skip = info.isMmio;
+            rec.probe.memVaddr = info.memVaddr;
+            rec.probe.memPaddr = info.memPaddr;
+            rec.probe.memData = info.memData;
+            rec.probe.memSize = info.memSize;
+            rec.isLoad = !info.isStore;
+            rec.isStore = info.isStore;
+            rec.memVaddr = info.memVaddr;
+            rec.memPaddr = info.memPaddr;
+            rec.memSize = info.memSize;
+        }
+        rec.probe.scFailed = info.scFailed;
+        if (info.memValid && info.isStore && !info.isMmio) {
+            if (specStoreHook_)
+                specStoreHook_({hart_, info.memPaddr, info.memData,
+                                info.memSize});
+            // Break sibling harts' LR reservations on the same granule.
+            if (peers_) {
+                Addr granule = info.memPaddr & ~static_cast<Addr>(63);
+                for (Core *peer : *peers_) {
+                    if (peer == this)
+                        continue;
+                    auto &st = peer->oracle_;
+                    if (st.resValid && st.resAddr == granule)
+                        st.resValid = false;
+                }
+            }
+        }
+    }
+
+    if (haltFn_ && haltFn_())
+        oracleHalted_ = true;
+    return true;
+}
+
+void
+Core::predictControl(Rec &rec, unsigned &bubble)
+{
+    Op op = rec.di.op;
+    if (isCondBranch(op)) {
+        rec.condPred = tage_.predict(rec.pc);
+        // Fetch-time history update with the resolved direction (the
+        // oracle-driven fetch never walks a wrong path).
+        tage_.pushHistory(rec.taken);
+        const auto &p = rec.condPred;
+        rec.mispredicted = p.taken != rec.taken;
+        rec.highPriority = false;
+        // PUBS confidence estimation comes straight from the TAGE
+        // provider counter plus SC agreement.
+        rec.probe.interrupt = false;
+        if (!p.confident)
+            rec.highPriority = true; // provisional; refined at dispatch
+        if (!rec.mispredicted && rec.taken) {
+            Addr t;
+            bool bias;
+            if (!ubtb_.predict(rec.pc, t, bias))
+                bubble += cfg_.ubtbMissBubble;
+            Addr bt;
+            if (!btb_.predict(rec.pc, bt) || bt != rec.nextPc)
+                bubble += cfg_.ubtbMissBubble;
+        }
+    } else if (op == Op::Jal) {
+        Addr t;
+        bool bias;
+        if (!ubtb_.predict(rec.pc, t, bias) || t != rec.nextPc)
+            bubble += cfg_.ubtbMissBubble;
+        if (rec.di.rd == 1)
+            ras_.push(rec.pc + rec.di.size);
+    } else if (op == Op::Jalr) {
+        bool isRet = rec.di.rd == 0 && rec.di.rs1 == 1 && rec.di.imm == 0;
+        Addr predicted = 0;
+        if (isRet) {
+            predicted = ras_.pop();
+        } else if (cfg_.hasIttage) {
+            rec.indPred = ittage_.predict(rec.pc);
+            ittage_.pushHistory(rec.nextPc);
+            predicted = rec.indPred.target;
+        } else {
+            Addr t;
+            if (btb_.predict(rec.pc, t))
+                predicted = t;
+        }
+        if (rec.di.rd == 1)
+            ras_.push(rec.pc + rec.di.size);
+        rec.mispredicted = predicted != rec.nextPc;
+    }
+}
+
+void
+Core::trainPredictors(const Rec &rec)
+{
+    Op op = rec.di.op;
+    if (isCondBranch(op)) {
+        ++perf_.branches;
+        if (rec.mispredicted)
+            ++perf_.branchMispredicts;
+        tage_.update(rec.condPred, rec.taken);
+        if (rec.taken) {
+            ubtb_.update(rec.pc, rec.nextPc, true);
+            btb_.update(rec.pc, rec.nextPc);
+        }
+    } else if (op == Op::Jal) {
+        ubtb_.update(rec.pc, rec.nextPc, true);
+        btb_.update(rec.pc, rec.nextPc);
+    } else if (op == Op::Jalr) {
+        ++perf_.indirects;
+        if (rec.mispredicted)
+            ++perf_.indirectMispredicts;
+        if (cfg_.hasIttage)
+            ittage_.update(rec.indPred, rec.nextPc);
+        btb_.update(rec.pc, rec.nextPc);
+    }
+}
+
+void
+Core::markPubsSlice(Rec &branch)
+{
+    // Prioritize the unconfident branch and its producer slice
+    // (ConfTable + BrSliceTable + DefTable of the PUBS paper, walked
+    // over the in-flight window).
+    branch.highPriority = true;
+    ++perf_.highPriorityInsts;
+
+    std::vector<uint64_t> frontier = {branch.src[0], branch.src[1]};
+    for (unsigned depth = 0; depth < cfg_.pubsSliceDepth; ++depth) {
+        std::vector<uint64_t> next;
+        for (uint64_t seq : frontier) {
+            Rec *r = recBySeq(seq);
+            if (!r || r->issued || r->highPriority)
+                continue;
+            r->highPriority = true;
+            ++perf_.highPriorityInsts;
+            next.push_back(r->src[0]);
+            next.push_back(r->src[1]);
+            next.push_back(r->src[2]);
+        }
+        frontier = std::move(next);
+        if (frontier.empty())
+            break;
+    }
+}
+
+void
+Core::doFetch()
+{
+    if (oracleHalted_)
+        return;
+
+    // Resolve outstanding redirect stalls.
+    if (mispredictWaitSeq_) {
+        Rec *r = recBySeq(mispredictWaitSeq_);
+        if (!r) {
+            mispredictWaitSeq_ = 0; // resolved and committed already
+        } else if (r->completedAt != 0) {
+            fetchResumeAt_ =
+                std::max(fetchResumeAt_,
+                         r->completedAt + cfg_.mispredictPenalty);
+            mispredictWaitSeq_ = 0;
+        } else {
+            ++perf_.fetchStallCycles;
+            ++perf_.stallMispredict;
+            return;
+        }
+    }
+    if (serializeWaitSeq_) {
+        if (serializeWaitSeq_ <= lastCommittedSeq_) {
+            serializeWaitSeq_ = 0; // resume cycle set at commit
+        } else {
+            ++perf_.fetchStallCycles;
+            ++perf_.stallSerialize;
+            return;
+        }
+    }
+    if (now_ < fetchResumeAt_) {
+        ++perf_.fetchStallCycles;
+        ++perf_.stallBubble;
+        return;
+    }
+    if (fetchBuffer_.size() >= cfg_.fetchBufferSize)
+        return;
+
+    unsigned slots = std::min<size_t>(
+        cfg_.fetchWidth, cfg_.fetchBufferSize - fetchBuffer_.size());
+    unsigned bubble = 0;
+    Addr lastLine = ~0ULL;
+    Cycle lineReady = now_ + 1;
+
+    for (unsigned i = 0; i < slots; ++i) {
+        Rec rec;
+        rec.seq = nextSeq_++;
+
+        if (!oracleStep(rec)) {
+            --nextSeq_;
+            break;
+        }
+        ++perf_.fetchedInstrs;
+
+        // Instruction-cache timing, once per touched line.
+        Addr line = rec.pc & ~63ULL;
+        if (line != lastLine) {
+            unsigned lat = mem_.fetch(hart_, rec.pc,
+                                      rec.instPaddr ? rec.instPaddr
+                                                    : rec.pc,
+                                      now_);
+            lineReady = std::max(lineReady, now_ + lat);
+            lastLine = line;
+        }
+        rec.fetchReadyAt = lineReady;
+
+        predictControl(rec, bubble);
+
+        bool stopMispredict = rec.mispredicted;
+        bool stopSerialize = rec.serialize;
+        bool stopTaken = isControl(rec.di.op) &&
+                         rec.nextPc != rec.pc + rec.di.size;
+        uint64_t seq = rec.seq;
+        fetchBuffer_.push_back(std::move(rec));
+
+        if (stopSerialize) {
+            serializeWaitSeq_ = seq;
+            break;
+        }
+        if (stopMispredict) {
+            mispredictWaitSeq_ = seq;
+            break;
+        }
+        if (oracleHalted_)
+            break;
+        if (stopTaken)
+            break; // one taken transfer per fetch group
+    }
+    fetchResumeAt_ = std::max(fetchResumeAt_, now_ + 1 + bubble);
+}
+
+void
+Core::doDispatch()
+{
+    unsigned width = 0;
+    while (width < cfg_.decodeWidth && !fetchBuffer_.empty()) {
+        Rec &rec = fetchBuffer_.front();
+        if (rec.fetchReadyAt > now_)
+            break;
+        if (rob_.size() >= cfg_.robSize) {
+            ++perf_.robFullStalls;
+            break;
+        }
+        if (rec.isLoad && lqUsed_ >= cfg_.lqSize)
+            break;
+        if (rec.isStore && sqUsed_ >= cfg_.sqSize)
+            break;
+
+        bool intDest = !rec.trapped && writesIntRd(rec.di);
+        bool fpDest = !rec.trapped && writesFpRd(rec.di.op);
+        if (intDest && intPrfUsed_ + 32 >= cfg_.intPrf)
+            break;
+        if (fpDest && fpPrfUsed_ + 32 >= cfg_.fpPrf)
+            break;
+
+        // Macro-op fusion: the previous instruction (already in the
+        // ROB) plus this one form a fused pair when this one is a
+        // plain ALU op that consumes and overwrites the previous ALU
+        // result (paper Section IV-A).
+        bool fused = false;
+        if (cfg_.fusion && !rec.trapped && !rob_.empty()) {
+            Rec &prev = rob_.back();
+            if (prev.seq + 1 == rec.seq && prev.fu == FuType::Alu &&
+                !prev.issued && !prev.eliminated &&
+                !prev.fusedWithPrev && !prev.isLoad &&
+                rec.fu == FuType::Alu && !rec.isLoad && !rec.isStore &&
+                writesIntRd(prev.di) && intDest &&
+                prev.di.rd == rec.di.rd &&
+                (rec.di.rs1 == prev.di.rd || rec.di.rs2 == prev.di.rd)) {
+                fused = true;
+            }
+        }
+
+        // Move elimination at rename (reference-counted physical regs
+        // in the real design; modeled as a zero-latency zero-resource
+        // rename-map copy here).
+        bool eliminated = false;
+        if (cfg_.moveElim && !rec.trapped && !fused &&
+            isEliminableMove(rec.di)) {
+            eliminated = true;
+        }
+
+        // Reservation-station capacity.
+        unsigned ft = static_cast<unsigned>(rec.fu);
+        if (!eliminated && !fused &&
+            rs_[ft].size() >= cfg_.fu[ft].rsSize) {
+            ++perf_.rsFullStalls;
+            break;
+        }
+
+        // ---- rename: resolve sources ----
+        if (!rec.trapped) {
+            const DecodedInst &di = rec.di;
+            Op op = di.op;
+            if (di.rs1 != 0 || readsFpRs1(op))
+                rec.src[0] =
+                    renameMap_[srcSlot(di.rs1, readsFpRs1(op))];
+            bool usesRs2 = isCondBranch(op) || isStore(op) || isAmo(op) ||
+                           readsFpRs2(op) ||
+                           (!isLoad(op) && !isCsr(op) && !isJump(op) &&
+                            di.rs2 != 0 && !isFp(op));
+            if (usesRs2 && (di.rs2 != 0 || readsFpRs2(op)))
+                rec.src[1] =
+                    renameMap_[srcSlot(di.rs2, readsFpRs2(op))];
+            if (hasRs3(op))
+                rec.src[2] = renameMap_[srcSlot(di.rs3, true)];
+
+            // Split store-address/data: the STA uop (in the RS) only
+            // waits for the address; the data dependency is tracked
+            // separately and gates commit.
+            if (rec.isStore && cfg_.splitStaStd && !isAmo(op)) {
+                rec.storeDataSrc = rec.src[1];
+                rec.src[1] = 0;
+            }
+        }
+
+        if (eliminated) {
+            // rd inherits the source's producer.
+            unsigned slot = srcSlot(rec.di.rs1 ? rec.di.rs1 : rec.di.rs2,
+                                    false);
+            renameMap_[srcSlot(rec.di.rd, false)] = renameMap_[slot];
+            rec.eliminated = true;
+            rec.completedAt = now_;
+            rec.issued = true;
+            ++perf_.movesEliminated;
+        } else {
+            if (intDest) {
+                renameMap_[srcSlot(rec.di.rd, false)] = rec.seq;
+                ++intPrfUsed_;
+            } else if (fpDest) {
+                renameMap_[srcSlot(rec.di.rd, true)] = rec.seq;
+                ++fpPrfUsed_;
+            }
+        }
+
+        if (rec.isLoad)
+            ++lqUsed_;
+        if (rec.isStore) {
+            ++sqUsed_;
+            inflightStores_[rec.memPaddr & ~7ULL].push_back(rec.seq);
+        }
+
+        rec.fusedWithPrev = fused;
+        rec.dispatched = true;
+
+        uint64_t seq = rec.seq;
+        rob_.push_back(std::move(rec));
+        fetchBuffer_.pop_front();
+        Rec &placed = rob_.back();
+
+        if (fused) {
+            ++perf_.fusedPairs;
+            // Completion is tied to the previous instruction's issue.
+            Rec &prev = rob_[rob_.size() - 2];
+            if (prev.completedAt != 0)
+                placed.completedAt = prev.completedAt;
+        } else if (!placed.eliminated) {
+            rs_[static_cast<unsigned>(placed.fu)].push_back(seq);
+        }
+
+        // PUBS: mark unconfident branch slices at dispatch.
+        if (cfg_.policy == IssuePolicy::Pubs && placed.highPriority &&
+            isCondBranch(placed.di.op)) {
+            markPubsSlice(placed);
+        } else if (cfg_.policy != IssuePolicy::Pubs) {
+            placed.highPriority = false;
+        }
+
+        ++width;
+    }
+}
+
+void
+Core::doIssue()
+{
+    for (unsigned ft = 0; ft < N_FU; ++ft) {
+        auto &rs = rs_[ft];
+        const FuCfg &fu = cfg_.fu[ft];
+
+        // Collect ready candidates.
+        std::vector<uint64_t> ready;
+        ready.reserve(rs.size());
+        for (uint64_t seq : rs) {
+            Rec *r = recBySeq(seq);
+            if (r && r->fetchReadyAt <= now_ && allSrcsReady(*r))
+                ready.push_back(seq);
+        }
+
+        // Figure 15 statistics: sampled on the dual-issue integer
+        // queue (the one PUBS competes for on sjeng).
+        if (static_cast<FuType>(ft) == FuType::Alu) {
+            unsigned bucket = std::min<unsigned>(
+                static_cast<unsigned>(ready.size()),
+                PerfCounters::READY_BUCKETS - 1);
+            ++perf_.readyHist[bucket];
+            ++perf_.readySamples;
+        }
+        if (ready.empty())
+            continue;
+
+        // Selection order: AGE = oldest first; PUBS = high-priority
+        // slices first, age-ordered within a class.
+        std::sort(ready.begin(), ready.end(),
+                  [&](uint64_t a, uint64_t b) {
+                      if (cfg_.policy == IssuePolicy::Pubs) {
+                          Rec *ra = recBySeq(a), *rb = recBySeq(b);
+                          bool ha = ra && ra->highPriority;
+                          bool hb = rb && rb->highPriority;
+                          if (ha != hb)
+                              return ha;
+                      }
+                      return a < b;
+                  });
+
+        unsigned issued = 0;
+        for (uint64_t seq : ready) {
+            if (issued >= fu.rsIssueWidth)
+                break;
+            Rec *r = recBySeq(seq);
+            if (!r)
+                continue;
+
+            // Unpipelined units need a free unit.
+            int unit = -1;
+            if (!fu.pipelined) {
+                for (unsigned u = 0; u < fuBusyUntil_[ft].size(); ++u) {
+                    if (fuBusyUntil_[ft][u] <= now_) {
+                        unit = static_cast<int>(u);
+                        break;
+                    }
+                }
+                if (unit < 0)
+                    break; // all units busy
+            }
+
+            unsigned lat = fu.latency;
+            if (r->fu == FuType::Ldu && r->isLoad) {
+                if (r->probe.skip) {
+                    lat = 20; // MMIO round trip
+                } else {
+                    // Store-to-load forwarding from an older in-flight
+                    // store to the same 8-byte slot.
+                    // Youngest in-flight store older than the load.
+                    auto it = inflightStores_.find(r->memPaddr & ~7ULL);
+                    Rec *st = nullptr;
+                    bool fromBuffer = false;
+                    if (it != inflightStores_.end()) {
+                        uint64_t best = 0;
+                        for (uint64_t sseq : it->second)
+                            if (sseq < seq && sseq > best)
+                                best = sseq;
+                        if (best) {
+                            st = recBySeq(best);
+                            // Committed but not yet drained: the store
+                            // buffer forwards directly.
+                            fromBuffer =
+                                !st && best <= lastCommittedSeq_;
+                        }
+                    }
+                    if (st && st->isStore) {
+                        if (!srcReady(st->storeDataSrc) ||
+                            st->completedAt == 0 ||
+                            st->completedAt > now_) {
+                            ++perf_.loadDefers;
+                            continue; // data not ready: retry later
+                        }
+                        lat = cfg_.storeForwardLatency;
+                        ++perf_.storeForwards;
+                    } else if (fromBuffer) {
+                        lat = cfg_.storeForwardLatency;
+                        ++perf_.storeForwards;
+                    } else {
+                        lat = 2 + mem_.load(hart_, r->memVaddr,
+                                            r->memPaddr, now_);
+                    }
+                }
+                ++perf_.loads;
+            } else if (r->fu == FuType::Sta && isAmo(r->di.op)) {
+                lat = 2 + mem_.store(hart_, r->memVaddr, r->memPaddr,
+                                     now_);
+            }
+
+            r->issued = true;
+            r->completedAt = now_ + std::max(1u, lat);
+            if (!fu.pipelined)
+                fuBusyUntil_[ft][unit] = r->completedAt;
+
+            // A fused follower completes with its leader.
+            Rec *next = recBySeq(seq + 1);
+            if (next && next->fusedWithPrev)
+                next->completedAt = r->completedAt;
+
+            // Remove from the RS.
+            rs.erase(std::find(rs.begin(), rs.end(), seq));
+            ++issued;
+        }
+    }
+}
+
+void
+Core::drainStoreBuffer()
+{
+    if (storeBuffer_.empty() || storeBuffer_.front().drainableAt > now_)
+        return;
+    PendingStore ps = storeBuffer_.front();
+    storeBuffer_.pop_front();
+    mem_.store(hart_, ps.vaddr, ps.paddr, now_);
+    auto it = inflightStores_.find(ps.paddr & ~7ULL);
+    if (it != inflightStores_.end()) {
+        auto &v = it->second;
+        v.erase(std::remove(v.begin(), v.end(), ps.seq), v.end());
+        if (v.empty())
+            inflightStores_.erase(it);
+    }
+    if (storeHook_)
+        storeHook_({hart_, ps.paddr, ps.data, ps.size});
+}
+
+void
+Core::doCommit()
+{
+    unsigned committed = 0;
+    while (committed < cfg_.commitWidth && !rob_.empty()) {
+        Rec &rec = rob_.front();
+        if (rec.completedAt == 0 || rec.completedAt > now_)
+            break;
+        if (rec.isStore) {
+            // Store data must be ready (split STA/STD) and the store
+            // buffer must have room.
+            if (!srcReady(rec.storeDataSrc))
+                break;
+            if (!rec.probe.skip &&
+                storeBuffer_.size() >= cfg_.storeBufferSize)
+                break;
+        }
+
+        if (rec.isStore && !rec.probe.skip) {
+            storeBuffer_.push_back({rec.memVaddr, rec.memPaddr,
+                                    rec.probe.memData, rec.memSize,
+                                    rec.seq, now_ + 4});
+            ++perf_.stores;
+        } else if (rec.isStore) {
+            // MMIO stores never enter the store buffer; drop them from
+            // the in-flight set at commit.
+            auto it = inflightStores_.find(rec.memPaddr & ~7ULL);
+            if (it != inflightStores_.end()) {
+                auto &v = it->second;
+                v.erase(std::remove(v.begin(), v.end(), rec.seq),
+                        v.end());
+                if (v.empty())
+                    inflightStores_.erase(it);
+            }
+        }
+
+        if (rec.isLoad && faultMask_ && !rec.probe.skip) {
+            // DiffTest demo: corrupt one committed load value (the
+            // register view and the memory-data view consistently, as
+            // a real datapath bug would).
+            rec.probe.rdValue ^= faultMask_;
+            rec.probe.memData ^= faultMask_;
+            faultMask_ = 0;
+        }
+
+        trainPredictors(rec);
+        if (commitHook_)
+            commitHook_(rec.probe);
+
+        if (rec.isLoad)
+            --lqUsed_;
+        if (rec.isStore)
+            --sqUsed_;
+        if (!rec.eliminated) {
+            if (writesIntRd(rec.di) && !rec.trapped)
+                --intPrfUsed_;
+            else if (!rec.trapped && writesFpRd(rec.di.op))
+                --fpPrfUsed_;
+        }
+        // Clear the rename map if this instruction is still the
+        // youngest producer of its destination.
+        if (!rec.trapped) {
+            if (writesIntRd(rec.di) &&
+                renameMap_[srcSlot(rec.di.rd, false)] == rec.seq)
+                renameMap_[srcSlot(rec.di.rd, false)] = 0;
+            else if (writesFpRd(rec.di.op) &&
+                     renameMap_[srcSlot(rec.di.rd, true)] == rec.seq)
+                renameMap_[srcSlot(rec.di.rd, true)] = 0;
+        }
+
+        lastCommittedSeq_ = rec.seq;
+        ++perf_.instrs;
+        ++committed;
+
+        if (rec.serialize) {
+            fetchResumeAt_ = std::max(
+                fetchResumeAt_,
+                now_ + (rec.trapped ? cfg_.trapPenalty : 2));
+            if (rec.di.op == Op::SfenceVma)
+                mem_.flushTlbs(hart_);
+        }
+
+        rob_.pop_front();
+    }
+}
+
+void
+Core::tick()
+{
+    doCommit();
+    drainStoreBuffer();
+    doIssue();
+    doDispatch();
+    doFetch();
+    ++now_;
+    ++perf_.cycles;
+}
+
+} // namespace minjie::xs

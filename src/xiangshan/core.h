@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Execution-driven cycle-level model of the XIANGSHAN superscalar
+ * out-of-order core (paper Section IV-A, Figure 10).
+ *
+ * Structure: a decoupled frontend (uBTB/BTB/TAGE-SC/ITTAGE/RAS feeding
+ * an IFU with L1I + ITLB timing), decode with macro-op fusion, rename
+ * with move elimination, a ROB + distributed reservation stations with
+ * configurable issue policy (AGE or PUBS), split store-address/data
+ * uops, bank-interleaved load pipes with store-to-load forwarding, a
+ * committed store buffer draining into the coherent cache hierarchy.
+ *
+ * The model is timing-directed: a functional "oracle" hart executes
+ * each instruction at fetch, so branch outcomes, memory addresses and
+ * results are known exactly; the pipeline model then accounts for when
+ * those events would have happened. Mispredictions stall the fetch
+ * stream until the branch's resolution cycle (wrong-path instructions
+ * are modeled as bubbles, not fetched). Commit fires the DiffTest
+ * probes in program order, making this the DUT of the DRAV flow.
+ */
+
+#ifndef MINJIE_XIANGSHAN_CORE_H
+#define MINJIE_XIANGSHAN_CORE_H
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "difftest/probes.h"
+#include "iss/exec.h"
+#include "iss/system.h"
+#include "uarch/predictors.h"
+#include "xiangshan/config.h"
+
+namespace minjie::xs {
+
+/** Performance counters, including the Figure 15 ready-count data. */
+struct PerfCounters
+{
+    Cycle cycles = 0;
+    InstCount instrs = 0;
+    uint64_t fetchedInstrs = 0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t indirects = 0;
+    uint64_t indirectMispredicts = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t storeForwards = 0;
+    uint64_t fusedPairs = 0;
+    uint64_t movesEliminated = 0;
+    uint64_t fetchStallCycles = 0;
+    uint64_t stallMispredict = 0; ///< waiting for branch resolution
+    uint64_t stallSerialize = 0;  ///< waiting for serializing commit
+    uint64_t stallBubble = 0;     ///< frontend redirect/override bubbles
+    uint64_t robFullStalls = 0;
+    uint64_t rsFullStalls = 0;
+    uint64_t highPriorityInsts = 0;
+    uint64_t loadDefers = 0;
+
+    /** Per-RS-per-cycle histogram of ready-instruction counts. */
+    static constexpr unsigned READY_BUCKETS = 9; // 0..7, 8+
+    uint64_t readyHist[READY_BUCKETS] = {};
+    uint64_t readySamples = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) / cycles : 0.0;
+    }
+
+    double
+    mpki() const
+    {
+        return instrs ? 1000.0 * branchMispredicts / instrs : 0.0;
+    }
+};
+
+class Core
+{
+  public:
+    /**
+     * @param sys   functional system (memory + devices) the oracle runs on
+     * @param mem   shared timing memory hierarchy
+     * @param entry reset pc
+     */
+    Core(const CoreConfig &cfg, HartId hart, iss::System &sys,
+         uarch::MemHierarchy &mem, Addr entry);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** True once the oracle has halted and the pipeline has drained. */
+    bool done() const;
+
+    /** Oracle halt predicate (e.g. SimCtrl exit). */
+    void setHaltFn(std::function<bool()> fn) { haltFn_ = std::move(fn); }
+
+    /** DiffTest commit probe (one call per committed instruction). */
+    void
+    setCommitHook(std::function<void(const difftest::CommitProbe &)> fn)
+    {
+        commitHook_ = std::move(fn);
+    }
+
+    /** Store buffer drain probe (store enters the cache hierarchy). */
+    void
+    setStoreHook(std::function<void(const difftest::StoreProbe &)> fn)
+    {
+        storeHook_ = std::move(fn);
+    }
+
+    /** Oracle-time store probe: fires when the functional oracle
+     *  performs a store, i.e. at the earliest point the value exists.
+     *  The Global Memory subscribes here so producer values are always
+     *  recorded before any consumer load can observe them. */
+    void
+    setSpecStoreHook(std::function<void(const difftest::StoreProbe &)> fn)
+    {
+        specStoreHook_ = std::move(fn);
+    }
+
+    const PerfCounters &perf() const { return perf_; }
+    PerfCounters &perf() { return perf_; }
+    const CoreConfig &cfg() const { return cfg_; }
+    HartId hartId() const { return hart_; }
+
+    /** The oracle's architectural state (committed + in-flight). */
+    iss::ArchState &oracleState() { return oracle_; }
+
+    /** Sibling cores whose LR reservations must be broken by this
+     *  core's stores (RVWMO reservation-granule semantics). Set by the
+     *  Soc; may be null for single-core systems. */
+    void setPeers(const std::vector<Core *> *peers) { peers_ = peers; }
+    iss::Mmu &oracleMmu() { return mmu_; }
+
+    /** Fill the CSR diff probe from the oracle's committed view. */
+    void fillCsrProbe(difftest::CsrProbe &probe) const;
+
+    /**
+     * Fault injection for the DiffTest demo (Section IV-C): the next
+     * load to commit gets its value corrupted by @p xorMask.
+     */
+    void injectLoadFault(uint64_t xorMask) { faultMask_ = xorMask; }
+
+    /**
+     * Make the next load raise a spurious page fault, modeling the
+     * Figure 3 scenario: a stale/speculative TLB entry makes the DUT
+     * fault where an architectural reference would not. The oracle
+     * takes the trap (so the DUT's own stream stays consistent) and
+     * DiffTest must reconcile via the page-fault diff-rule.
+     */
+    void injectSpuriousPageFault() { injectPageFault_ = true; }
+
+    Cycle now() const { return now_; }
+
+  private:
+    struct Rec
+    {
+        uint64_t seq = 0;
+        Addr pc = 0;
+        isa::DecodedInst di;
+        isa::FuType fu = isa::FuType::Alu;
+
+        // Oracle outcomes.
+        bool taken = false;
+        Addr nextPc = 0;
+        bool trapped = false;
+        uint64_t trapCause = 0;
+        difftest::CommitProbe probe;
+
+        // Dependencies (producer sequence numbers; 0 = none).
+        uint64_t src[3] = {0, 0, 0};
+        uint64_t storeDataSrc = 0; ///< split STD dependency
+
+        // Pipeline status.
+        Cycle fetchReadyAt = 0;
+        Cycle completedAt = 0;
+        bool dispatched = false;
+        bool issued = false;
+        bool eliminated = false;   ///< move elimination: free at rename
+        bool fusedWithPrev = false;
+        bool serialize = false;    ///< stall fetch until this commits
+        bool mispredicted = false;
+        bool highPriority = false; ///< PUBS slice member
+        uarch::CondPred condPred;      ///< TAGE coordinates (branches)
+        uarch::IndirectPred indPred;   ///< ITTAGE coordinates (jalr)
+
+        bool isLoad = false;
+        bool isStore = false;
+        Addr instPaddr = 0;
+        Addr memVaddr = 0;
+        Addr memPaddr = 0;
+        uint8_t memSize = 0;
+    };
+
+    struct PendingStore
+    {
+        Addr vaddr, paddr;
+        uint64_t data;
+        uint8_t size;
+        uint64_t seq;
+        Cycle drainableAt;
+    };
+
+    // ---- pipeline stages (called in reverse order each tick) ----
+    void doCommit();
+    void drainStoreBuffer();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Functionally execute the next oracle instruction into @p rec.
+     *  @return false when the oracle cannot make progress. */
+    bool oracleStep(Rec &rec);
+
+    /** Consult the frontend predictors for @p rec at fetch. */
+    void predictControl(Rec &rec, unsigned &bubble);
+
+    /** Train predictors at commit, in program order. */
+    void trainPredictors(const Rec &rec);
+
+    Rec *recBySeq(uint64_t seq);
+    bool srcReady(uint64_t producerSeq) const;
+    bool allSrcsReady(const Rec &rec) const;
+    void markPubsSlice(Rec &branch);
+
+    CoreConfig cfg_;
+    HartId hart_;
+    iss::System &sys_;
+    uarch::MemHierarchy &mem_;
+
+    // Oracle.
+    iss::ArchState oracle_;
+    iss::Mmu mmu_;
+    std::function<bool()> haltFn_;
+    bool oracleHalted_ = false;
+
+    // Frontend.
+    uarch::MicroBtb ubtb_;
+    uarch::Btb btb_;
+    uarch::Tage tage_;
+    uarch::Ittage ittage_;
+    uarch::Ras ras_;
+    std::deque<Rec> fetchBuffer_;
+    Cycle fetchResumeAt_ = 0;
+    uint64_t mispredictWaitSeq_ = 0; ///< fetch stalled on this branch
+    uint64_t serializeWaitSeq_ = 0;  ///< fetch stalled until commit
+
+    // Window.
+    std::deque<Rec> rob_;
+    uint64_t nextSeq_ = 1;
+    uint64_t lastCommittedSeq_ = 0;
+    std::vector<uint64_t> renameMap_; ///< 64 arch regs -> producer seq
+    unsigned lqUsed_ = 0, sqUsed_ = 0;
+    unsigned intPrfUsed_ = 0, fpPrfUsed_ = 0;
+
+    // Reservation stations: per FuType list of seq numbers.
+    static constexpr unsigned N_FU =
+        static_cast<unsigned>(isa::FuType::None) + 1;
+    std::vector<uint64_t> rs_[N_FU];
+    std::vector<Cycle> fuBusyUntil_[N_FU]; ///< unpipelined units
+
+    // Store path.
+    std::deque<PendingStore> storeBuffer_;
+    /// 8B slot -> in-flight (dispatched..drained) store seqs, oldest first
+    std::unordered_map<Addr, std::vector<uint64_t>> inflightStores_;
+
+    // Hooks and misc.
+    std::function<void(const difftest::CommitProbe &)> commitHook_;
+    std::function<void(const difftest::StoreProbe &)> storeHook_;
+    std::function<void(const difftest::StoreProbe &)> specStoreHook_;
+    const std::vector<Core *> *peers_ = nullptr;
+    uint64_t faultMask_ = 0;
+    bool injectPageFault_ = false;
+
+    Cycle now_ = 0;
+    PerfCounters perf_;
+};
+
+} // namespace minjie::xs
+
+#endif // MINJIE_XIANGSHAN_CORE_H

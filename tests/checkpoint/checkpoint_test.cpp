@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "checkpoint/generator.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+#include "xiangshan/soc.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::checkpoint;
+namespace wl = minjie::workload;
+
+TEST(Checkpoint, SerializeRestoreRoundtrip)
+{
+    iss::System sys(32);
+    auto prog = wl::coremarkProxy(10);
+    prog.loadInto(sys.dram);
+    nemu::Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+    nemu.run(5000);
+
+    Checkpoint cp = serialize(nemu.state(), sys.dram, 5000);
+    ASSERT_TRUE(cp.valid());
+
+    iss::System sys2(32);
+    iss::ArchState restored;
+    ASSERT_TRUE(restore(cp, restored, sys2.dram));
+
+    EXPECT_EQ(restored.pc, nemu.state().pc);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(restored.x[i], nemu.state().x[i]) << "x" << i;
+        EXPECT_EQ(restored.f[i], nemu.state().f[i]) << "f" << i;
+    }
+    EXPECT_EQ(restored.csr.mstatus, nemu.state().csr.mstatus);
+    EXPECT_EQ(restored.csr.satp, nemu.state().csr.satp);
+
+    // Memory equality over the program's data region.
+    for (Addr a = 0x80100000; a < 0x80101000; a += 8) {
+        uint64_t v1, v2;
+        sys.dram.read(a, 8, v1);
+        sys2.dram.read(a, 8, v2);
+        EXPECT_EQ(v1, v2) << std::hex << a;
+    }
+}
+
+TEST(Checkpoint, RestoredRunContinuesIdentically)
+{
+    // Resuming from a checkpoint must reproduce the original execution:
+    // the defining property of the Figure 9 format.
+    auto prog = wl::coremarkProxy(20);
+
+    iss::System sysA(32);
+    prog.loadInto(sysA.dram);
+    nemu::Nemu a(sysA.bus, sysA.dram, 0, prog.entry);
+    a.setHaltFn([&] { return sysA.simctrl.exited(); });
+    a.run(10'000);
+    Checkpoint cp = serialize(a.state(), sysA.dram, 10'000);
+    a.run(20'000); // original continues
+
+    iss::System sysB(32);
+    nemu::Nemu b(sysB.bus, sysB.dram, 0, prog.entry);
+    b.setHaltFn([&] { return sysB.simctrl.exited(); });
+    ASSERT_TRUE(restore(cp, b.state(), sysB.dram));
+    b.flushUopCache();
+    b.run(20'000); // restored copy continues the same distance
+
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.state().x[i], b.state().x[i]) << "x" << i;
+    EXPECT_EQ(a.state().pc, b.state().pc);
+}
+
+TEST(Checkpoint, RejectsGarbage)
+{
+    Checkpoint cp;
+    cp.bytes.assign(64, 0xab);
+    iss::ArchState st;
+    mem::PhysMem mem(0x80000000, 1 << 20);
+    EXPECT_FALSE(restore(cp, st, mem));
+}
+
+TEST(Checkpoint, GeneratorProducesWeightedCheckpoints)
+{
+    auto prog = wl::coremarkProxy(200);
+    auto gen = generateCheckpoints(prog, 20'000, 4, 10'000'000);
+
+    ASSERT_GE(gen.checkpoints.size(), 1u);
+    ASSERT_LE(gen.checkpoints.size(), 4u);
+    double wsum = 0;
+    for (const auto &cp : gen.checkpoints) {
+        EXPECT_TRUE(cp.valid());
+        EXPECT_GT(cp.weight, 0.0);
+        wsum += cp.weight;
+    }
+    EXPECT_NEAR(wsum, 1.0, 1e-9);
+    EXPECT_GT(gen.totalInsts, 100'000u);
+    // Pass 2 runs at fast-interpreter speed, far above profiling speed.
+    EXPECT_GT(gen.generateMips, gen.profileMips);
+}
+
+TEST(Checkpoint, RestoresIntoCycleModel)
+{
+    // The end-to-end use: restore a checkpoint into XIANGSHAN and
+    // simulate a measurement window.
+    auto prog = wl::coremarkProxy(500);
+    auto gen = generateCheckpoints(prog, 50'000, 2, 10'000'000);
+    ASSERT_GE(gen.checkpoints.size(), 1u);
+
+    xs::Soc soc(xs::CoreConfig::nh());
+    ASSERT_TRUE(restore(gen.checkpoints[0],
+                        soc.core(0).oracleState(),
+                        soc.system().dram));
+    auto r = soc.runUntilInstrs(20'000, 5'000'000);
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(soc.core(0).perf().instrs, 20'000u);
+    EXPECT_GT(soc.core(0).perf().ipc(), 0.05);
+}
+
+double
+estimateCpi(const GenResult &gen, InstCount warm, InstCount measure)
+{
+    std::vector<double> cpis, weights;
+    for (const auto &cp : gen.checkpoints) {
+        xs::Soc soc(xs::CoreConfig::nh());
+        EXPECT_TRUE(restore(cp, soc.core(0).oracleState(),
+                            soc.system().dram));
+        soc.runUntilInstrs(warm, 5'000'000);
+        Cycle warmCycles = soc.core(0).perf().cycles;
+        InstCount warmInstrs = soc.core(0).perf().instrs;
+        soc.runUntilInstrs(warmInstrs + measure, 20'000'000);
+        double cpi = static_cast<double>(soc.core(0).perf().cycles -
+                                         warmCycles) /
+                     (soc.core(0).perf().instrs - warmInstrs);
+        cpis.push_back(cpi);
+        weights.push_back(cp.weight);
+    }
+    return checkpoint::weightedCpi(cpis, weights);
+}
+
+TEST(Checkpoint, WeightedCpiTracksFullRunAndWarmupHelps)
+{
+    // The paper reports a 5-10% deviation against real hardware and
+    // names micro-architectural warming as the dominant error source
+    // (Section III-D3). We verify both halves of that story: the
+    // estimate is in the right range, and longer warmup moves it
+    // toward the full-run measurement.
+    auto prog = wl::coremarkProxy(400);
+
+    xs::Soc full(xs::CoreConfig::nh());
+    prog.loadInto(full.system().dram);
+    full.setEntry(prog.entry);
+    auto r = full.run(50'000'000);
+    ASSERT_TRUE(r.completed);
+    double fullCpi = 1.0 / full.core(0).perf().ipc();
+
+    auto gen = generateCheckpoints(prog, 30'000, 4, 10'000'000);
+    double coldEstimate = estimateCpi(gen, 1'000, 10'000);
+    double warmEstimate = estimateCpi(gen, 15'000, 10'000);
+
+    // Sanity band: cold-state estimates overshoot (every miss is
+    // compulsory in a short window) but stay within an order of
+    // magnitude; the meaningful property is the warmup trend below.
+    EXPECT_GT(coldEstimate, fullCpi * 0.4);
+    EXPECT_LT(coldEstimate, fullCpi * 8.0);
+    EXPECT_GT(warmEstimate, fullCpi * 0.4);
+    EXPECT_LT(warmEstimate, fullCpi * 4.0);
+    // Warming reduces the error (the paper's stated future work).
+    double coldErr = std::abs(coldEstimate - fullCpi);
+    double warmErr = std::abs(warmEstimate - fullCpi);
+    EXPECT_LE(warmErr, coldErr)
+        << "cold " << coldEstimate << " warm " << warmEstimate
+        << " full " << fullCpi;
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "checkpoint/simpoint.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::checkpoint;
+
+Bbv
+makeBbv(std::initializer_list<std::pair<Addr, uint64_t>> items)
+{
+    Bbv b;
+    for (auto &[pc, n] : items)
+        b[pc] = n;
+    return b;
+}
+
+TEST(BbvCollector, SplitsIntervals)
+{
+    BbvCollector c(1000);
+    for (int i = 0; i < 25; ++i)
+        c.onBlock(0x80000000 + (i % 3) * 64, 100);
+    c.finish();
+    // 2500 instructions -> 2 full intervals + 1 partial.
+    EXPECT_EQ(c.intervals().size(), 3u);
+    uint64_t total = 0;
+    for (const auto &iv : c.intervals())
+        for (const auto &[pc, n] : iv)
+            total += n;
+    EXPECT_EQ(total, 2500u);
+}
+
+TEST(SimPoint, TwoPhasesSeparate)
+{
+    // Phase A executes blocks {X,Y}; phase B executes {P,Q}. k=2 must
+    // separate them and weight 50/50.
+    std::vector<Bbv> bbvs;
+    for (int i = 0; i < 10; ++i)
+        bbvs.push_back(makeBbv({{0x1000, 800}, {0x2000, 200}}));
+    for (int i = 0; i < 10; ++i)
+        bbvs.push_back(makeBbv({{0x9000, 500}, {0xa000, 500}}));
+
+    auto sp = simpoint(bbvs, 2);
+    ASSERT_EQ(sp.intervals.size(), 2u);
+    EXPECT_NEAR(sp.weights[0], 0.5, 1e-9);
+    EXPECT_NEAR(sp.weights[1], 0.5, 1e-9);
+    // Assignments must be phase-pure.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sp.assignment[i], sp.assignment[0]);
+    for (int i = 10; i < 20; ++i)
+        EXPECT_EQ(sp.assignment[i], sp.assignment[10]);
+    EXPECT_NE(sp.assignment[0], sp.assignment[10]);
+}
+
+TEST(SimPoint, RepresentativeBelongsToItsCluster)
+{
+    std::vector<Bbv> bbvs;
+    for (int i = 0; i < 6; ++i)
+        bbvs.push_back(makeBbv({{0x1000, 100 + i}}));
+    for (int i = 0; i < 6; ++i)
+        bbvs.push_back(makeBbv({{0x8000, 100 + i}}));
+    auto sp = simpoint(bbvs, 2);
+    for (size_t c = 0; c < sp.intervals.size(); ++c)
+        EXPECT_EQ(sp.assignment[sp.intervals[c]], c);
+}
+
+TEST(SimPoint, KClampedToIntervalCount)
+{
+    std::vector<Bbv> bbvs = {makeBbv({{0x1000, 10}}),
+                             makeBbv({{0x2000, 10}})};
+    auto sp = simpoint(bbvs, 10);
+    EXPECT_LE(sp.intervals.size(), 2u);
+}
+
+TEST(SimPoint, WeightsSumToOne)
+{
+    Rng rng(0x51);
+    std::vector<Bbv> bbvs;
+    for (int i = 0; i < 40; ++i) {
+        Bbv b;
+        for (int j = 0; j < 8; ++j)
+            b[0x1000 + rng.below(16) * 64] = rng.range(1, 1000);
+        bbvs.push_back(std::move(b));
+    }
+    auto sp = simpoint(bbvs, 5);
+    double sum = 0;
+    for (double w : sp.weights)
+        sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SimPoint, EmptyInputHandled)
+{
+    std::vector<Bbv> none;
+    auto sp = simpoint(none, 4);
+    EXPECT_TRUE(sp.intervals.empty());
+}
+
+TEST(WeightedCpi, Basics)
+{
+    EXPECT_DOUBLE_EQ(weightedCpi({2.0, 4.0}, {0.5, 0.5}), 3.0);
+    EXPECT_DOUBLE_EQ(weightedCpi({2.0, 4.0}, {1.0, 0.0}), 2.0);
+    EXPECT_DOUBLE_EQ(weightedCpi({}, {}), 0.0);
+}
+
+} // namespace

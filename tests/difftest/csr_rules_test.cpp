@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "difftest/csr_rules.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::difftest;
+
+TEST(CsrRules, AtLeast120Rules)
+{
+    // The paper devises "at least 120 rules" over the machine CSRs
+    // (Section III-B2); the fflags/frm/priv checks in checkCsrs() add
+    // seven more on top of the table.
+    EXPECT_GE(csrRules().size() + 7, 120u);
+}
+
+TEST(CsrRules, CleanStatesPass)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    std::vector<std::string> violations;
+    EXPECT_TRUE(checkCsrs(dut, ref, priv, violations));
+    EXPECT_TRUE(violations.empty());
+}
+
+TEST(CsrRules, ExactFieldMismatchDetected)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.mepc = 0x1234;
+    std::vector<std::string> violations;
+    EXPECT_FALSE(checkCsrs(dut, ref, priv, violations));
+    ASSERT_FALSE(violations.empty());
+    EXPECT_NE(violations.front().find("mepc"), std::string::npos);
+}
+
+TEST(CsrRules, FieldGranularity)
+{
+    // Only the offending mstatus field is named, not the whole CSR.
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.mstatus ^= isa::MSTATUS_SUM;
+    std::vector<std::string> violations;
+    EXPECT_FALSE(checkCsrs(dut, ref, priv, violations));
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations.front().find("SUM"), std::string::npos);
+}
+
+TEST(CsrRules, TrustDutFieldsAdopted)
+{
+    // mcycle is timing-dependent: the REF adopts the DUT's value
+    // instead of flagging a mismatch.
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.mcycle = 987654;
+    std::vector<std::string> violations;
+    EXPECT_TRUE(checkCsrs(dut, ref, priv, violations));
+    EXPECT_EQ(ref.mcycle, 987654u);
+}
+
+TEST(CsrRules, MipPendingBitsTrusted)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.mip |= isa::MIP_MTIP | isa::MIP_MEIP; // device-driven bits
+    std::vector<std::string> violations;
+    EXPECT_TRUE(checkCsrs(dut, ref, priv, violations));
+    EXPECT_TRUE(ref.mip & isa::MIP_MTIP);
+}
+
+TEST(CsrRules, IgnoredFieldsNeverFire)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.pmpcfg0 = ~0ULL; // Ignore policy
+    std::vector<std::string> violations;
+    EXPECT_TRUE(checkCsrs(dut, ref, priv, violations));
+}
+
+TEST(CsrRules, FflagsPerFlagRules)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.fflags = 0x10; // NV set on DUT only
+    std::vector<std::string> violations;
+    EXPECT_FALSE(checkCsrs(dut, ref, priv, violations));
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_NE(violations.front().find("NV"), std::string::npos);
+}
+
+TEST(CsrRules, PrivilegeLevelChecked)
+{
+    iss::CsrFile ref;
+    isa::Priv priv = isa::Priv::M;
+    CsrProbe dut = snapshotCsrs(ref, priv);
+    dut.priv = 1; // S
+    std::vector<std::string> violations;
+    EXPECT_FALSE(checkCsrs(dut, ref, priv, violations));
+    EXPECT_NE(violations.front().find("priv"), std::string::npos);
+}
+
+TEST(CsrRules, EveryRuleHasDistinctIdentity)
+{
+    std::set<std::string> names;
+    for (const auto &r : csrRules()) {
+        std::string id = std::string(r.csr) + "." + r.field;
+        EXPECT_TRUE(names.insert(id).second) << "duplicate rule " << id;
+    }
+}
+
+} // namespace

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "difftest/global_memory.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::difftest;
+
+TEST(GlobalMemory, RecordsAndMatchesStores)
+{
+    GlobalMemory gm;
+    gm.onStore({0, 0x80001000, 0xdeadbeefcafebabeULL, 8});
+    EXPECT_TRUE(gm.couldHaveValue(0x80001000, 8, 0xdeadbeefcafebabeULL));
+    EXPECT_FALSE(gm.couldHaveValue(0x80001000, 8, 0x1234ULL));
+    EXPECT_EQ(gm.storesRecorded(), 1u);
+}
+
+TEST(GlobalMemory, SubwordStoresCompose)
+{
+    GlobalMemory gm;
+    gm.onStore({0, 0x80002000, 0x11223344, 4});
+    gm.onStore({1, 0x80002004, 0x55667788, 4});
+    EXPECT_TRUE(gm.couldHaveValue(0x80002000, 8, 0x5566778811223344ULL));
+    EXPECT_TRUE(gm.couldHaveValue(0x80002004, 4, 0x55667788));
+}
+
+TEST(GlobalMemory, ByteGranularity)
+{
+    GlobalMemory gm;
+    gm.onStore({0, 0x80003003, 0xab, 1});
+    EXPECT_TRUE(gm.couldHaveValue(0x80003003, 1, 0xab));
+    // Reading wider than what was ever written cannot be validated.
+    EXPECT_FALSE(gm.couldHaveValue(0x80003000, 8, 0xab000000ULL << 24));
+}
+
+TEST(GlobalMemory, UnwrittenAddressNeverMatches)
+{
+    GlobalMemory gm;
+    EXPECT_FALSE(gm.couldHaveValue(0x80004000, 8, 0));
+}
+
+TEST(GlobalMemory, RecentHistoryRetained)
+{
+    // Loads are checked at commit, potentially long after the producing
+    // store was overwritten; the bounded history covers that window.
+    GlobalMemory gm;
+    gm.onStore({0, 0x80005000, 1, 8});
+    gm.onStore({1, 0x80005000, 2, 8});
+    EXPECT_TRUE(gm.couldHaveValue(0x80005000, 8, 2));
+    EXPECT_TRUE(gm.couldHaveValue(0x80005000, 8, 1));
+    // A value never stored is still rejected.
+    EXPECT_FALSE(gm.couldHaveValue(0x80005000, 8, 99));
+}
+
+} // namespace

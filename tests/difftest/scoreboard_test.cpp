@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "difftest/scoreboard.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::difftest;
+using uarch::Transaction;
+using uarch::TxnKind;
+
+Transaction
+txn(TxnKind kind, Addr line, const void *cache, const char *name,
+    Cycle at = 0)
+{
+    return {kind, line, cache, name, at};
+}
+
+TEST(Scoreboard, LegalSharingPasses)
+{
+    PermissionScoreboard sb;
+    int a, b; // distinct cache identities
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x100, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x100, &b, "L1D.1"));
+    EXPECT_TRUE(sb.ok());
+}
+
+TEST(Scoreboard, ExclusiveWhilePeerHoldsViolates)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x100, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x100, &b, "L1D.1"));
+    ASSERT_FALSE(sb.ok());
+    EXPECT_NE(sb.violations().front().find("exclusive grant"),
+              std::string::npos);
+}
+
+TEST(Scoreboard, ProbeBeforeExclusiveIsLegal)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x100, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::ProbeInvalid, 0x100, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x100, &b, "L1D.1"));
+    EXPECT_TRUE(sb.ok());
+}
+
+TEST(Scoreboard, SharedGrantAgainstExclusiveViolates)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x200, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x200, &b, "L1D.1"));
+    ASSERT_FALSE(sb.ok());
+}
+
+TEST(Scoreboard, ProbeSharedDowngrades)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x200, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::ProbeShared, 0x200, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantShared, 0x200, &b, "L1D.1"));
+    EXPECT_TRUE(sb.ok());
+}
+
+TEST(Scoreboard, ReleaseWithoutPermissionViolates)
+{
+    PermissionScoreboard sb;
+    int a;
+    sb.onTransaction(txn(TxnKind::Release, 0x300, &a, "L1D.0"));
+    ASSERT_FALSE(sb.ok());
+    EXPECT_NE(sb.violations().front().find("release"),
+              std::string::npos);
+}
+
+TEST(Scoreboard, NonL1TransactionsIgnored)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x100, &a, "L2.0"));
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x100, &b, "L3"));
+    EXPECT_TRUE(sb.ok());
+    EXPECT_EQ(sb.transactionsChecked(), 0u);
+}
+
+TEST(Scoreboard, DifferentLinesIndependent)
+{
+    PermissionScoreboard sb;
+    int a, b;
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x100, &a, "L1D.0"));
+    sb.onTransaction(txn(TxnKind::GrantExclusive, 0x140, &b, "L1D.1"));
+    EXPECT_TRUE(sb.ok());
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+/**
+ * Tests for the RISC-V fp semantics layer: backend equivalence (the
+ * bit-for-bit agreement DiffTest relies on), NaN boxing, conversions,
+ * min/max, classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+#include "fp/ops.h"
+#include "fp/softfloat.h"
+
+namespace {
+
+using namespace minjie::fp;
+using minjie::Rng;
+using minjie::isa::Op;
+
+TEST(FpOps, NanBoxing)
+{
+    EXPECT_EQ(boxF32(0x3f800000u), 0xffffffff3f800000ull);
+    EXPECT_EQ(unboxF32(0xffffffff3f800000ull), 0x3f800000u);
+    // Improperly boxed value reads as canonical qNaN.
+    EXPECT_EQ(unboxF32(0x123456783f800000ull), 0x7fc00000u);
+}
+
+TEST(FpOps, BackendsAgreeOnArithmetic)
+{
+    Rng rng(0xabcd);
+    const Op ops[] = {Op::FaddD, Op::FsubD, Op::FmulD, Op::FdivD,
+                      Op::FaddS, Op::FsubS, Op::FmulS, Op::FdivS};
+    for (int i = 0; i < 50000; ++i) {
+        Op op = ops[rng.below(std::size(ops))];
+        uint64_t a = rng.next();
+        uint64_t b = rng.next();
+        bool single = op == Op::FaddS || op == Op::FsubS ||
+                      op == Op::FmulS || op == Op::FdivS;
+        if (single) {
+            a = boxF32(static_cast<uint32_t>(a));
+            b = boxF32(static_cast<uint32_t>(b));
+        }
+        FpOut host = fpExec(op, a, b, 0, 0, FpBackend::Host);
+        FpOut soft = fpExec(op, a, b, 0, 0, FpBackend::Soft);
+        ASSERT_EQ(host.value, soft.value)
+            << minjie::isa::opName(op) << std::hex << " a=0x" << a
+            << " b=0x" << b;
+        ASSERT_EQ(host.flags, soft.flags)
+            << minjie::isa::opName(op) << std::hex << " a=0x" << a
+            << " b=0x" << b;
+    }
+}
+
+TEST(FpOps, SqrtBackendsAgree)
+{
+    Rng rng(0xef01);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t a = rng.next();
+        FpOut host = fpExec(Op::FsqrtD, a, 0, 0, 0, FpBackend::Host);
+        FpOut soft = fpExec(Op::FsqrtD, a, 0, 0, 0, FpBackend::Soft);
+        ASSERT_EQ(host.value, soft.value) << std::hex << "a=0x" << a;
+        ASSERT_EQ(host.flags, soft.flags) << std::hex << "a=0x" << a;
+    }
+}
+
+TEST(FpOps, MinMaxRiscvSemantics)
+{
+    const uint64_t one = std::bit_cast<uint64_t>(1.0);
+    const uint64_t negzero = 0x8000000000000000ull;
+    const uint64_t poszero = 0;
+    const uint64_t qnan = CANONICAL_NAN64;
+    const uint64_t snan = 0x7ff0000000000001ull;
+
+    // -0 < +0 for fmin/fmax purposes.
+    auto r = fpExec(Op::FminD, negzero, poszero, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, negzero);
+    r = fpExec(Op::FmaxD, negzero, poszero, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, poszero);
+
+    // One NaN input: return the other operand, quietly for qNaN.
+    r = fpExec(Op::FminD, qnan, one, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, one);
+    EXPECT_EQ(r.flags, 0);
+
+    // sNaN input signals invalid.
+    r = fpExec(Op::FmaxD, snan, one, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, one);
+    EXPECT_EQ(r.flags, FLAG_NV);
+
+    // Both NaN: canonical NaN.
+    r = fpExec(Op::FminD, qnan, qnan, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, CANONICAL_NAN64);
+}
+
+TEST(FpOps, Comparisons)
+{
+    const uint64_t one = std::bit_cast<uint64_t>(1.0);
+    const uint64_t two = std::bit_cast<uint64_t>(2.0);
+    const uint64_t qnan = CANONICAL_NAN64;
+
+    EXPECT_EQ(fpExec(Op::FltD, one, two, 0, 0, FpBackend::Host).value, 1u);
+    EXPECT_EQ(fpExec(Op::FleD, two, two, 0, 0, FpBackend::Host).value, 1u);
+    EXPECT_EQ(fpExec(Op::FeqD, one, two, 0, 0, FpBackend::Host).value, 0u);
+
+    // feq with qNaN: result 0, no invalid.
+    auto r = fpExec(Op::FeqD, qnan, one, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_EQ(r.flags, 0);
+    // flt with qNaN: signaling -> invalid.
+    r = fpExec(Op::FltD, qnan, one, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_EQ(r.flags, FLAG_NV);
+}
+
+TEST(FpOps, Classify)
+{
+    EXPECT_EQ(fpExec(Op::FclassD, std::bit_cast<uint64_t>(-1.0/0.0), 0, 0,
+                     0, FpBackend::Host).value, 1ull << 0);
+    EXPECT_EQ(fpExec(Op::FclassD, std::bit_cast<uint64_t>(-1.5), 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 1);
+    EXPECT_EQ(fpExec(Op::FclassD, 0x8000000000000001ull, 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 2);
+    EXPECT_EQ(fpExec(Op::FclassD, 0x8000000000000000ull, 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 3);
+    EXPECT_EQ(fpExec(Op::FclassD, 0, 0, 0, 0, FpBackend::Host).value,
+              1ull << 4);
+    EXPECT_EQ(fpExec(Op::FclassD, 1, 0, 0, 0, FpBackend::Host).value,
+              1ull << 5);
+    EXPECT_EQ(fpExec(Op::FclassD, std::bit_cast<uint64_t>(2.5), 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 6);
+    EXPECT_EQ(fpExec(Op::FclassD, std::bit_cast<uint64_t>(1.0/0.0), 0, 0,
+                     0, FpBackend::Host).value, 1ull << 7);
+    EXPECT_EQ(fpExec(Op::FclassD, 0x7ff0000000000001ull, 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 8);
+    EXPECT_EQ(fpExec(Op::FclassD, CANONICAL_NAN64, 0, 0, 0,
+                     FpBackend::Host).value, 1ull << 9);
+}
+
+TEST(FpOps, ConversionsSaturate)
+{
+    // fcvt.w.d of NaN -> INT32_MAX with NV.
+    auto r = fpExec(Op::FcvtWD, CANONICAL_NAN64, 0, 0, 0, FpBackend::Host);
+    EXPECT_EQ(static_cast<int64_t>(r.value), INT32_MAX);
+    EXPECT_TRUE(r.flags & FLAG_NV);
+
+    // fcvt.wu.d of -1.0 -> 0 with NV, sign-extended result.
+    r = fpExec(Op::FcvtWuD, std::bit_cast<uint64_t>(-1.0), 0, 0, 0,
+               FpBackend::Host);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_TRUE(r.flags & FLAG_NV);
+
+    // fcvt.wu.d of 2^32 saturates to UINT32_MAX, sign-extended.
+    r = fpExec(Op::FcvtWuD, std::bit_cast<uint64_t>(4294967296.0), 0, 0, 0,
+               FpBackend::Host);
+    EXPECT_EQ(r.value, ~0ull);
+    EXPECT_TRUE(r.flags & FLAG_NV);
+
+    // fcvt.l.d of 1.5 with RTZ -> 1 with NX.
+    r = fpExec(Op::FcvtLD, std::bit_cast<uint64_t>(1.5), 0, 0, 1,
+               FpBackend::Host);
+    EXPECT_EQ(r.value, 1u);
+    EXPECT_TRUE(r.flags & FLAG_NX);
+
+    // Rounding modes on 2.5: RNE->2, RTZ->2, RDN->2, RUP->3, RMM->3.
+    const uint64_t v = std::bit_cast<uint64_t>(2.5);
+    EXPECT_EQ(fpExec(Op::FcvtLD, v, 0, 0, 0, FpBackend::Host).value, 2u);
+    EXPECT_EQ(fpExec(Op::FcvtLD, v, 0, 0, 1, FpBackend::Host).value, 2u);
+    EXPECT_EQ(fpExec(Op::FcvtLD, v, 0, 0, 2, FpBackend::Host).value, 2u);
+    EXPECT_EQ(fpExec(Op::FcvtLD, v, 0, 0, 3, FpBackend::Host).value, 3u);
+    EXPECT_EQ(fpExec(Op::FcvtLD, v, 0, 0, 4, FpBackend::Host).value, 3u);
+}
+
+TEST(FpOps, IntToFp)
+{
+    // Exact conversion: no flags.
+    auto r = fpExec(Op::FcvtDL, 42, 0, 0, 0, FpBackend::Host);
+    EXPECT_EQ(std::bit_cast<double>(r.value), 42.0);
+    EXPECT_EQ(r.flags, 0);
+
+    // 2^60+1 to double is inexact.
+    r = fpExec(Op::FcvtDL, (1ull << 60) + 1, 0, 0, 0, FpBackend::Host);
+    EXPECT_TRUE(r.flags & FLAG_NX);
+
+    // Unsigned conversion of a "negative" pattern.
+    r = fpExec(Op::FcvtDLu, ~0ull, 0, 0, 0, FpBackend::Host);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.value), 18446744073709551616.0);
+}
+
+TEST(FpOps, FmaSpecials)
+{
+    // fmadd with inf * 0 -> NV + canonical NaN.
+    auto r = fpExec(Op::FmaddD, std::bit_cast<uint64_t>(1.0/0.0), 0,
+                    std::bit_cast<uint64_t>(1.0), 0, FpBackend::Host);
+    EXPECT_EQ(r.value, CANONICAL_NAN64);
+    EXPECT_TRUE(r.flags & FLAG_NV);
+
+    // fnmadd(-a*b - c) sign check: fnmadd(1,2,3) = -5.
+    r = fpExec(Op::FnmaddD, std::bit_cast<uint64_t>(1.0),
+               std::bit_cast<uint64_t>(2.0), std::bit_cast<uint64_t>(3.0),
+               0, FpBackend::Host);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.value), -5.0);
+
+    // fmsub(1,2,3) = -1.
+    r = fpExec(Op::FmsubD, std::bit_cast<uint64_t>(1.0),
+               std::bit_cast<uint64_t>(2.0), std::bit_cast<uint64_t>(3.0),
+               0, FpBackend::Host);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.value), -1.0);
+
+    // fnmsub(1,2,3) = 1.
+    r = fpExec(Op::FnmsubD, std::bit_cast<uint64_t>(1.0),
+               std::bit_cast<uint64_t>(2.0), std::bit_cast<uint64_t>(3.0),
+               0, FpBackend::Host);
+    EXPECT_DOUBLE_EQ(std::bit_cast<double>(r.value), 1.0);
+}
+
+TEST(FpOps, Moves)
+{
+    // fmv.x.w sign-extends the low 32 bits of the fp register.
+    auto r = fpExec(Op::FmvXW, 0xffffffff80000000ull, 0, 0, 0,
+                    FpBackend::Host);
+    EXPECT_EQ(r.value, 0xffffffff80000000ull);
+    // fmv.w.x boxes.
+    r = fpExec(Op::FmvWX, 0x3f800000u, 0, 0, 0, FpBackend::Host);
+    EXPECT_EQ(r.value, boxF32(0x3f800000u));
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+/**
+ * Property tests pinning the software float implementation bit-for-bit
+ * against the host FPU (x86 SSE2 is IEEE-754 compliant with RNE and
+ * after-rounding tininess, which is what softfloat.cpp implements).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+#include "fp/softfloat.h"
+
+namespace {
+
+using namespace minjie::fp;
+using minjie::Rng;
+
+double
+hostCanon(double v)
+{
+    return std::isnan(v) ? std::bit_cast<double>(CANONICAL_NAN64) : v;
+}
+
+float
+hostCanonF(float v)
+{
+    return std::isnan(v) ? std::bit_cast<float>(CANONICAL_NAN32) : v;
+}
+
+/** Interesting edge-case bit patterns for binary64. */
+const uint64_t kEdge64[] = {
+    0x0000000000000000ull, // +0
+    0x8000000000000000ull, // -0
+    0x0000000000000001ull, // min subnormal
+    0x000fffffffffffffull, // max subnormal
+    0x0010000000000000ull, // min normal
+    0x7fefffffffffffffull, // max normal
+    0x7ff0000000000000ull, // +inf
+    0xfff0000000000000ull, // -inf
+    0x7ff8000000000000ull, // qNaN
+    0x7ff0000000000001ull, // sNaN
+    0x3ff0000000000000ull, // 1.0
+    0xbff0000000000000ull, // -1.0
+    0x4000000000000000ull, // 2.0
+    0x3fe0000000000000ull, // 0.5
+    0x4340000000000000ull, // 2^53
+    0x4330000000000001ull, // 2^52+1
+    0x36a0000000000000ull, // tiny normal
+    0x7fe0000000000000ull, // huge
+};
+
+const uint32_t kEdge32[] = {
+    0x00000000u, 0x80000000u, 0x00000001u, 0x007fffffu, 0x00800000u,
+    0x7f7fffffu, 0x7f800000u, 0xff800000u, 0x7fc00000u, 0x7f800001u,
+    0x3f800000u, 0xbf800000u, 0x40000000u, 0x3f000000u, 0x4b800000u,
+    0x34000000u, 0x7f000000u,
+};
+
+struct BinCase
+{
+    const char *name;
+    uint64_t (*soft)(uint64_t, uint64_t, uint8_t &);
+    double (*host)(double, double);
+};
+
+double hAdd(double a, double b) { return a + b; }
+double hSub(double a, double b) { return a - b; }
+double hMul(double a, double b) { return a * b; }
+double hDiv(double a, double b) { return a / b; }
+
+class Soft64BinTest : public ::testing::TestWithParam<int> {};
+
+const BinCase kBin64[] = {
+    {"add", softAdd64, hAdd},
+    {"sub", softSub64, hSub},
+    {"mul", softMul64, hMul},
+    {"div", softDiv64, hDiv},
+};
+
+TEST_P(Soft64BinTest, EdgePairsMatchHost)
+{
+    const BinCase &c = kBin64[GetParam()];
+    for (uint64_t ab : kEdge64) {
+        for (uint64_t bb : kEdge64) {
+            for (int signs = 0; signs < 4; ++signs) {
+                uint64_t a = ab ^ ((signs & 1) ? 0x8000000000000000ull : 0);
+                uint64_t b = bb ^ ((signs & 2) ? 0x8000000000000000ull : 0);
+                uint8_t flags = 0;
+                uint64_t soft = c.soft(a, b, flags);
+                double host = hostCanon(
+                    c.host(std::bit_cast<double>(a),
+                           std::bit_cast<double>(b)));
+                EXPECT_EQ(soft, std::bit_cast<uint64_t>(host))
+                    << c.name << std::hex << " a=0x" << a << " b=0x" << b;
+            }
+        }
+    }
+}
+
+TEST_P(Soft64BinTest, RandomMatchHost)
+{
+    const BinCase &c = kBin64[GetParam()];
+    Rng rng(0xf10a7 + GetParam());
+    for (int i = 0; i < 200000; ++i) {
+        uint64_t a = rng.next();
+        uint64_t b = rng.next();
+        // Bias some trials toward nearby exponents to stress alignment.
+        if (i % 3 == 0)
+            b = (a & 0xfff0000000000000ull) | (b & 0x000fffffffffffffull);
+        uint8_t flags = 0;
+        uint64_t soft = c.soft(a, b, flags);
+        double host = hostCanon(c.host(std::bit_cast<double>(a),
+                                       std::bit_cast<double>(b)));
+        ASSERT_EQ(soft, std::bit_cast<uint64_t>(host))
+            << c.name << std::hex << " a=0x" << a << " b=0x" << b;
+    }
+}
+
+TEST_P(Soft64BinTest, SubnormalRange)
+{
+    const BinCase &c = kBin64[GetParam()];
+    Rng rng(0xdeb + GetParam());
+    for (int i = 0; i < 50000; ++i) {
+        // Both operands subnormal or barely normal.
+        uint64_t a = (rng.next() & 0x001fffffffffffffull) |
+                     (rng.chance(50) ? 0x8000000000000000ull : 0);
+        uint64_t b = (rng.next() & 0x001fffffffffffffull) |
+                     (rng.chance(50) ? 0x8000000000000000ull : 0);
+        uint8_t flags = 0;
+        uint64_t soft = c.soft(a, b, flags);
+        double host = hostCanon(c.host(std::bit_cast<double>(a),
+                                       std::bit_cast<double>(b)));
+        ASSERT_EQ(soft, std::bit_cast<uint64_t>(host))
+            << c.name << std::hex << " a=0x" << a << " b=0x" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, Soft64BinTest, ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int> &i) {
+                             return kBin64[i.param].name;
+                         });
+
+struct BinCase32
+{
+    const char *name;
+    uint32_t (*soft)(uint32_t, uint32_t, uint8_t &);
+    float (*host)(float, float);
+};
+
+float hAddF(float a, float b) { return a + b; }
+float hSubF(float a, float b) { return a - b; }
+float hMulF(float a, float b) { return a * b; }
+float hDivF(float a, float b) { return a / b; }
+
+const BinCase32 kBin32[] = {
+    {"add", softAdd32, hAddF},
+    {"sub", softSub32, hSubF},
+    {"mul", softMul32, hMulF},
+    {"div", softDiv32, hDivF},
+};
+
+class Soft32BinTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Soft32BinTest, RandomAndEdgesMatchHost)
+{
+    const BinCase32 &c = kBin32[GetParam()];
+    Rng rng(0x32c + GetParam());
+    for (uint32_t a : kEdge32) {
+        for (uint32_t b : kEdge32) {
+            uint8_t flags = 0;
+            uint32_t soft = c.soft(a, b, flags);
+            float host = hostCanonF(c.host(std::bit_cast<float>(a),
+                                           std::bit_cast<float>(b)));
+            ASSERT_EQ(soft, std::bit_cast<uint32_t>(host))
+                << c.name << std::hex << " a=0x" << a << " b=0x" << b;
+        }
+    }
+    for (int i = 0; i < 200000; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.next());
+        uint32_t b = static_cast<uint32_t>(rng.next());
+        if (i % 3 == 0)
+            b = (a & 0xff800000u) | (b & 0x007fffffu);
+        uint8_t flags = 0;
+        uint32_t soft = c.soft(a, b, flags);
+        float host = hostCanonF(c.host(std::bit_cast<float>(a),
+                                       std::bit_cast<float>(b)));
+        ASSERT_EQ(soft, std::bit_cast<uint32_t>(host))
+            << c.name << std::hex << " a=0x" << a << " b=0x" << b;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, Soft32BinTest, ::testing::Range(0, 4),
+                         [](const ::testing::TestParamInfo<int> &i) {
+                             return kBin32[i.param].name;
+                         });
+
+TEST(SoftSqrt, MatchesHost64)
+{
+    Rng rng(0x5c47);
+    for (uint64_t a : kEdge64) {
+        uint8_t flags = 0;
+        uint64_t soft = softSqrt64(a, flags);
+        double host = hostCanon(std::sqrt(std::bit_cast<double>(a)));
+        ASSERT_EQ(soft, std::bit_cast<uint64_t>(host))
+            << std::hex << "a=0x" << a;
+    }
+    for (int i = 0; i < 100000; ++i) {
+        uint64_t a = rng.next();
+        uint8_t flags = 0;
+        uint64_t soft = softSqrt64(a, flags);
+        double host = hostCanon(std::sqrt(std::bit_cast<double>(a)));
+        ASSERT_EQ(soft, std::bit_cast<uint64_t>(host))
+            << std::hex << "a=0x" << a;
+    }
+}
+
+TEST(SoftSqrt, MatchesHost32)
+{
+    Rng rng(0x5c48);
+    for (int i = 0; i < 100000; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.next());
+        uint8_t flags = 0;
+        uint32_t soft = softSqrt32(a, flags);
+        float host = hostCanonF(std::sqrt(std::bit_cast<float>(a)));
+        ASSERT_EQ(soft, std::bit_cast<uint32_t>(host))
+            << std::hex << "a=0x" << a;
+    }
+}
+
+TEST(SoftFlags, BasicCases)
+{
+    uint8_t f = 0;
+    // inf - inf -> invalid
+    softSub64(0x7ff0000000000000ull, 0x7ff0000000000000ull, f);
+    EXPECT_TRUE(f & FLAG_NV);
+
+    f = 0;
+    // 1.0 / 0.0 -> divide by zero
+    softDiv64(0x3ff0000000000000ull, 0, f);
+    EXPECT_TRUE(f & FLAG_DZ);
+
+    f = 0;
+    // max * max -> overflow + inexact
+    softMul64(0x7fefffffffffffffull, 0x7fefffffffffffffull, f);
+    EXPECT_TRUE(f & FLAG_OF);
+    EXPECT_TRUE(f & FLAG_NX);
+
+    f = 0;
+    // min_normal * 0.5 -> underflow + inexact? exact halving of the
+    // smallest normal is representable as a subnormal: inexact clear.
+    softMul64(0x0010000000000000ull, 0x3fe0000000000000ull, f);
+    EXPECT_FALSE(f & FLAG_NX);
+
+    f = 0;
+    // sqrt(-1) -> invalid
+    softSqrt64(0xbff0000000000000ull, f);
+    EXPECT_TRUE(f & FLAG_NV);
+
+    f = 0;
+    // 1 + 2^-60 -> inexact only
+    softAdd64(0x3ff0000000000000ull, 0x3c30000000000000ull, f);
+    EXPECT_EQ(f, FLAG_NX);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+
+namespace {
+
+using namespace minjie::isa;
+
+TEST(Compressed, Quadrant0)
+{
+    // c.addi4spn x8, sp, 16 -> 0x0800
+    auto di = decode16(0x0800);
+    EXPECT_EQ(di.op, Op::Addi);
+    EXPECT_EQ(di.rd, 8u);
+    EXPECT_EQ(di.rs1, 2u);
+    EXPECT_EQ(di.imm, 16);
+    EXPECT_EQ(di.size, 2u);
+
+    // c.lw x8, 0(x9) -> quad 0, f3=2, rs1'=1, rd'=0: 0x4080
+    di = decode16(0x4080);
+    EXPECT_EQ(di.op, Op::Lw);
+    EXPECT_EQ(di.rd, 8u);
+    EXPECT_EQ(di.rs1, 9u);
+    EXPECT_EQ(di.imm, 0);
+
+    // c.sd x9, 8(x8) -> f3=7: bits: 111 imm[5:3]=001 rs1'=000 imm[7:6]=00 rs2'=001 00
+    di = decode16(0xe404);
+    EXPECT_EQ(di.op, Op::Sd);
+    EXPECT_EQ(di.rs1, 8u);
+    EXPECT_EQ(di.rs2, 9u);
+    EXPECT_EQ(di.imm, 8);
+}
+
+TEST(Compressed, Quadrant1)
+{
+    // c.nop = 0x0001 -> addi x0, x0, 0
+    auto di = decode16(0x0001);
+    EXPECT_EQ(di.op, Op::Addi);
+    EXPECT_EQ(di.rd, 0u);
+    EXPECT_EQ(di.imm, 0);
+
+    // c.addi x10, -1 = 0x157d
+    di = decode16(0x157d);
+    EXPECT_EQ(di.op, Op::Addi);
+    EXPECT_EQ(di.rd, 10u);
+    EXPECT_EQ(di.rs1, 10u);
+    EXPECT_EQ(di.imm, -1);
+
+    // c.li x10, 5 = 0x4515
+    di = decode16(0x4515);
+    EXPECT_EQ(di.op, Op::Addi);
+    EXPECT_EQ(di.rd, 10u);
+    EXPECT_EQ(di.rs1, 0u);
+    EXPECT_EQ(di.imm, 5);
+
+    // c.lui x15, 1 = 0x6785? c.lui rd=15 imm=1: f3=011 imm17 rd imm[16:12]
+    // bits: 011 0 01111 00001 01 = 0x6785
+    di = decode16(0x6785);
+    EXPECT_EQ(di.op, Op::Lui);
+    EXPECT_EQ(di.rd, 15u);
+    EXPECT_EQ(di.imm, 0x1000);
+
+    // c.sub x8, x9 -> 100 0 11 000 00 001 01 = 0x8c05
+    di = decode16(0x8c05);
+    EXPECT_EQ(di.op, Op::Sub);
+    EXPECT_EQ(di.rd, 8u);
+    EXPECT_EQ(di.rs2, 9u);
+
+    // c.j +0 would be c.j with imm 0: f3=101 imm=0 -> 0xa001
+    di = decode16(0xa001);
+    EXPECT_EQ(di.op, Op::Jal);
+    EXPECT_EQ(di.rd, 0u);
+    EXPECT_EQ(di.imm, 0);
+
+    // c.beqz x8, +8: 110 imm[8|4:3]=001 rs1'=000 imm[7:6|2:1|5]=00000 01
+    di = decode16(0xc401);
+    EXPECT_EQ(di.op, Op::Beq);
+    EXPECT_EQ(di.rs1, 8u);
+    EXPECT_EQ(di.imm, 8);
+}
+
+TEST(Compressed, Quadrant2)
+{
+    // c.slli x10, 4 = 0x0512
+    auto di = decode16(0x0512);
+    EXPECT_EQ(di.op, Op::Slli);
+    EXPECT_EQ(di.rd, 10u);
+    EXPECT_EQ(di.imm, 4);
+
+    // c.lwsp x10, 0(sp) = 0x4502
+    di = decode16(0x4502);
+    EXPECT_EQ(di.op, Op::Lw);
+    EXPECT_EQ(di.rs1, 2u);
+    EXPECT_EQ(di.imm, 0);
+
+    // c.mv x10, x11 = 0x852e
+    di = decode16(0x852e);
+    EXPECT_EQ(di.op, Op::Add);
+    EXPECT_EQ(di.rd, 10u);
+    EXPECT_EQ(di.rs1, 0u);
+    EXPECT_EQ(di.rs2, 11u);
+
+    // c.add x10, x11 = 0x952e
+    di = decode16(0x952e);
+    EXPECT_EQ(di.op, Op::Add);
+    EXPECT_EQ(di.rs1, 10u);
+    EXPECT_EQ(di.rs2, 11u);
+
+    // c.jr x1 = 0x8082 (ret)
+    di = decode16(0x8082);
+    EXPECT_EQ(di.op, Op::Jalr);
+    EXPECT_EQ(di.rd, 0u);
+    EXPECT_EQ(di.rs1, 1u);
+
+    // c.jalr x1 = 0x9082
+    di = decode16(0x9082);
+    EXPECT_EQ(di.op, Op::Jalr);
+    EXPECT_EQ(di.rd, 1u);
+    EXPECT_EQ(di.rs1, 1u);
+
+    // c.ebreak = 0x9002
+    EXPECT_EQ(decode16(0x9002).op, Op::Ebreak);
+
+    // c.sdsp x10, 0(sp) = 0xe02a
+    di = decode16(0xe02a);
+    EXPECT_EQ(di.op, Op::Sd);
+    EXPECT_EQ(di.rs1, 2u);
+    EXPECT_EQ(di.rs2, 10u);
+    EXPECT_EQ(di.imm, 0);
+}
+
+TEST(Compressed, IllegalAllZero)
+{
+    EXPECT_EQ(decode16(0x0000).op, Op::Illegal);
+}
+
+TEST(Compressed, DispatchFromDecode)
+{
+    // decode() routes by the low two bits.
+    EXPECT_EQ(decode(0x852e).size, 2u);
+    EXPECT_EQ(decode(0x002081b3).size, 4u);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+
+namespace {
+
+using namespace minjie::isa;
+
+TEST(Decode, BasicRTypes)
+{
+    // add x3, x1, x2 = 0x002081b3
+    auto di = decode32(0x002081b3);
+    EXPECT_EQ(di.op, Op::Add);
+    EXPECT_EQ(di.rd, 3u);
+    EXPECT_EQ(di.rs1, 1u);
+    EXPECT_EQ(di.rs2, 2u);
+
+    // sub x5, x6, x7 = 0x407302b3
+    di = decode32(0x407302b3);
+    EXPECT_EQ(di.op, Op::Sub);
+    EXPECT_EQ(di.rd, 5u);
+}
+
+TEST(Decode, Immediates)
+{
+    // addi x1, x2, -1 = 0xfff10093
+    auto di = decode32(0xfff10093);
+    EXPECT_EQ(di.op, Op::Addi);
+    EXPECT_EQ(di.imm, -1);
+
+    // lui x1, 0xfffff = 0xfffff0b7 -> imm = sign-extended 0xfffff000
+    di = decode32(0xfffff0b7);
+    EXPECT_EQ(di.op, Op::Lui);
+    EXPECT_EQ(di.imm, static_cast<int64_t>(0xfffffffffffff000ULL));
+
+    // jal x0, -4 (backward): encode known value 0xffdff06f
+    di = decode32(0xffdff06f);
+    EXPECT_EQ(di.op, Op::Jal);
+    EXPECT_EQ(di.imm, -4);
+
+    // beq x0, x0, -8: 0xfe000ce3
+    di = decode32(0xfe000ce3);
+    EXPECT_EQ(di.op, Op::Beq);
+    EXPECT_EQ(di.imm, -8);
+}
+
+TEST(Decode, LoadsStores)
+{
+    // ld x10, 8(x2) = 0x00813503
+    auto di = decode32(0x00813503);
+    EXPECT_EQ(di.op, Op::Ld);
+    EXPECT_EQ(di.rd, 10u);
+    EXPECT_EQ(di.rs1, 2u);
+    EXPECT_EQ(di.imm, 8);
+
+    // sd x10, -16(x2) = 0xfea13823
+    di = decode32(0xfea13823);
+    EXPECT_EQ(di.op, Op::Sd);
+    EXPECT_EQ(di.rs2, 10u);
+    EXPECT_EQ(di.imm, -16);
+}
+
+TEST(Decode, System)
+{
+    EXPECT_EQ(decode32(0x00000073).op, Op::Ecall);
+    EXPECT_EQ(decode32(0x00100073).op, Op::Ebreak);
+    EXPECT_EQ(decode32(0x30200073).op, Op::Mret);
+    EXPECT_EQ(decode32(0x10200073).op, Op::Sret);
+    EXPECT_EQ(decode32(0x10500073).op, Op::Wfi);
+    // sfence.vma x0, x0 = 0x12000073
+    EXPECT_EQ(decode32(0x12000073).op, Op::SfenceVma);
+    // csrrw x1, mstatus, x2 = 0x300110f3
+    auto di = decode32(0x300110f3);
+    EXPECT_EQ(di.op, Op::Csrrw);
+    EXPECT_EQ(di.imm, 0x300);
+}
+
+TEST(Decode, Atomics)
+{
+    // lr.w x10, (x11) = 0x1005a52f
+    auto di = decode32(0x1005a52f);
+    EXPECT_EQ(di.op, Op::LrW);
+    // amoadd.d x12, x13, (x14) = 0x00d7362f
+    di = decode32(0x00d7362f);
+    EXPECT_EQ(di.op, Op::AmoAddD);
+    EXPECT_EQ(di.rd, 12u);
+    EXPECT_EQ(di.rs2, 13u);
+    EXPECT_EQ(di.rs1, 14u);
+}
+
+TEST(Decode, Fp)
+{
+    // fadd.d f1, f2, f3 = 0x023170d3 (rm=dyn)
+    auto di = decode32(0x023170d3);
+    EXPECT_EQ(di.op, Op::FaddD);
+    EXPECT_EQ(di.rm, 7u);
+    // fmadd.d f1, f2, f3, f4 with rm=rne: 0x223100c3
+    di = decode32(0x223100c3);
+    EXPECT_EQ(di.op, Op::FmaddD);
+    EXPECT_EQ(di.rs3, 4u);
+    EXPECT_EQ(di.rm, 0u);
+}
+
+TEST(Decode, IllegalPatterns)
+{
+    EXPECT_EQ(decode32(0x00000000).op, Op::Illegal);
+    EXPECT_EQ(decode32(0xffffffff).op, Op::Illegal);
+    // Reserved branch funct3 (2).
+    EXPECT_EQ(decode32(0x00002063).op, Op::Illegal);
+}
+
+TEST(Decode, DisasmSmoke)
+{
+    auto di = decode32(0x002081b3);
+    EXPECT_EQ(disasm(di), std::string("add      gp, ra, sp"));
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+/**
+ * Property test: for every op and many random operand/immediate
+ * combinations, decode(encode(di)) must reproduce the instruction.
+ * This pins the encoder (assembler backend) and decoder against each
+ * other without any external reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/decode.h"
+#include "isa/encode.h"
+
+namespace {
+
+using namespace minjie::isa;
+using minjie::Rng;
+
+int64_t
+randImmFor(Op op, Rng &rng)
+{
+    switch (op) {
+      case Op::Lui: case Op::Auipc:
+        // U-type: bits [31:12], sign-extended.
+        return static_cast<int64_t>(
+                   static_cast<int32_t>(rng.next() & 0xfffff000));
+      case Op::Jal:
+        return static_cast<int64_t>(
+                   (static_cast<int32_t>(rng.next()) << 11) >> 11) & ~1LL;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        return static_cast<int64_t>(
+                   (static_cast<int32_t>(rng.next()) << 19) >> 19) & ~1LL;
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Rori:
+      case Op::SlliUw:
+        return static_cast<int64_t>(rng.below(64));
+      case Op::Slliw: case Op::Srliw: case Op::Sraiw: case Op::Roriw:
+        return static_cast<int64_t>(rng.below(32));
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc:
+      case Op::Csrrwi: case Op::Csrrsi: case Op::Csrrci:
+        return static_cast<int64_t>(rng.below(4096));
+      case Op::Clz: case Op::Ctz: case Op::Cpop: case Op::Clzw:
+      case Op::Ctzw: case Op::Cpopw: case Op::SextB: case Op::SextH:
+      case Op::OrcB: case Op::Rev8:
+        return 0;
+      default:
+        // I/S-type 12-bit signed.
+        return static_cast<int64_t>(rng.next() & 0xfff) - 2048;
+    }
+}
+
+bool
+usesImm(Op op)
+{
+    switch (op) {
+      case Op::Lui: case Op::Auipc: case Op::Jal: case Op::Jalr:
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld: case Op::Lbu:
+      case Op::Lhu: case Op::Lwu: case Op::Sb: case Op::Sh: case Op::Sw:
+      case Op::Sd: case Op::Flw: case Op::Fld: case Op::Fsw: case Op::Fsd:
+      case Op::Addi: case Op::Slti: case Op::Sltiu: case Op::Xori:
+      case Op::Ori: case Op::Andi: case Op::Slli: case Op::Srli:
+      case Op::Srai: case Op::Addiw: case Op::Slliw: case Op::Srliw:
+      case Op::Sraiw: case Op::Rori: case Op::Roriw: case Op::SlliUw:
+      case Op::Csrrw: case Op::Csrrs: case Op::Csrrc: case Op::Csrrwi:
+      case Op::Csrrsi: case Op::Csrrci: case Op::Fence: case Op::FenceI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+class RoundtripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundtripTest, EncodeDecode)
+{
+    auto op = static_cast<Op>(GetParam());
+    if (op == Op::Illegal)
+        GTEST_SKIP();
+    Rng rng(0x5eed + GetParam());
+
+    for (int trial = 0; trial < 50; ++trial) {
+        DecodedInst di;
+        di.op = op;
+        di.rd = static_cast<uint8_t>(rng.below(32));
+        di.rs1 = static_cast<uint8_t>(rng.below(32));
+        di.rs2 = static_cast<uint8_t>(rng.below(32));
+        di.rs3 = static_cast<uint8_t>(rng.below(32));
+        di.rm = isFp(op) ? 0 : 0;
+        di.imm = randImmFor(op, rng);
+
+        // Ops with fixed operand fields.
+        if (op == Op::Ecall || op == Op::Ebreak || op == Op::Mret ||
+            op == Op::Sret || op == Op::Wfi) {
+            di.rd = di.rs1 = di.rs2 = 0;
+            di.imm = 0;
+        }
+        if (op == Op::SfenceVma)
+            di.rd = 0;
+        if (op == Op::LrW || op == Op::LrD || op == Op::FsqrtS ||
+            op == Op::FsqrtD || op == Op::FclassS || op == Op::FclassD ||
+            op == Op::FmvXW || op == Op::FmvWX || op == Op::FmvXD ||
+            op == Op::FmvDX || op == Op::ZextH || op == Op::FcvtSD ||
+            op == Op::FcvtDS)
+            di.rs2 = 0;
+        if (op >= Op::FcvtWS && op <= Op::FcvtSLu)
+            di.rs2 = 0;
+        if (op >= Op::FcvtWD && op <= Op::FcvtDLu)
+            di.rs2 = 0;
+
+        uint32_t encoded = encode(di);
+        ASSERT_NE(encoded, 0u) << opName(op);
+        DecodedInst back = decode32(encoded);
+
+        ASSERT_EQ(back.op, op)
+            << opName(op) << " -> " << opName(back.op) << std::hex
+            << " word=0x" << encoded;
+        // Branches and stores have no rd; compare only meaningful fields.
+        if (op != Op::Ecall && op != Op::Ebreak) {
+            if (!isCondBranch(op) && !(isStore(op) && !isSc(op)) &&
+                op != Op::SfenceVma)
+                EXPECT_EQ(back.rd, di.rd) << opName(op);
+            if (op != Op::Lui && op != Op::Auipc && op != Op::Jal)
+                EXPECT_EQ(back.rs1, di.rs1) << opName(op);
+        }
+        if (usesImm(op))
+            EXPECT_EQ(back.imm, di.imm) << opName(op);
+        if (hasRs3(op))
+            EXPECT_EQ(back.rs3, di.rs3) << opName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundtripTest,
+    ::testing::Range(1, static_cast<int>(Op::NumOps)),
+    [](const ::testing::TestParamInfo<int> &info) {
+        std::string n = opName(static_cast<Op>(info.param));
+        for (auto &c : n)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n;
+    });
+
+} // namespace

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "isa/op.h"
+
+namespace {
+
+using namespace minjie::isa;
+
+TEST(OpMeta, Classification)
+{
+    EXPECT_TRUE(isLoad(Op::Lw));
+    EXPECT_TRUE(isLoad(Op::Fld));
+    EXPECT_TRUE(isLoad(Op::LrD));
+    EXPECT_FALSE(isLoad(Op::Sd));
+
+    EXPECT_TRUE(isStore(Op::Sd));
+    EXPECT_TRUE(isStore(Op::ScW));
+    EXPECT_TRUE(isStore(Op::Fsw));
+    EXPECT_FALSE(isStore(Op::Ld));
+
+    EXPECT_TRUE(isAmo(Op::AmoAddW));
+    EXPECT_TRUE(isAmo(Op::AmoMaxuD));
+    EXPECT_FALSE(isAmo(Op::LrW));
+    EXPECT_FALSE(isAmo(Op::ScD));
+
+    EXPECT_TRUE(isCondBranch(Op::Bgeu));
+    EXPECT_FALSE(isCondBranch(Op::Jal));
+    EXPECT_TRUE(isJump(Op::Jalr));
+    EXPECT_TRUE(isControl(Op::Beq));
+
+    EXPECT_TRUE(isFp(Op::FmaddD));
+    EXPECT_TRUE(isFp(Op::Flw));
+    EXPECT_FALSE(isFp(Op::Add));
+
+    EXPECT_TRUE(isCsr(Op::Csrrci));
+    EXPECT_TRUE(isSystem(Op::Mret));
+    EXPECT_TRUE(isFence(Op::SfenceVma));
+}
+
+TEST(OpMeta, MemSizes)
+{
+    EXPECT_EQ(memSize(Op::Lb), 1u);
+    EXPECT_EQ(memSize(Op::Lhu), 2u);
+    EXPECT_EQ(memSize(Op::Flw), 4u);
+    EXPECT_EQ(memSize(Op::AmoAddW), 4u);
+    EXPECT_EQ(memSize(Op::AmoAddD), 8u);
+    EXPECT_EQ(memSize(Op::ScD), 8u);
+    EXPECT_EQ(memSize(Op::Add), 0u);
+    EXPECT_TRUE(loadSigned(Op::Lw));
+    EXPECT_FALSE(loadSigned(Op::Lwu));
+}
+
+TEST(OpMeta, FpRegisterUsage)
+{
+    // fcvt.d.w reads an int rs1, writes an fp rd.
+    EXPECT_FALSE(readsFpRs1(Op::FcvtDW));
+    EXPECT_TRUE(writesFpRd(Op::FcvtDW));
+    // fcvt.w.d reads fp, writes int.
+    EXPECT_TRUE(readsFpRs1(Op::FcvtWD));
+    EXPECT_FALSE(writesFpRd(Op::FcvtWD));
+    // feq writes int rd, reads two fp sources.
+    EXPECT_TRUE(readsFpRs1(Op::FeqD));
+    EXPECT_TRUE(readsFpRs2(Op::FeqD));
+    EXPECT_FALSE(writesFpRd(Op::FeqD));
+    // stores read fp rs2 but integer rs1.
+    EXPECT_FALSE(readsFpRs1(Op::Fsd));
+    EXPECT_TRUE(readsFpRs2(Op::Fsd));
+}
+
+TEST(OpMeta, FuTypes)
+{
+    EXPECT_EQ(fuType(Op::Add), FuType::Alu);
+    EXPECT_EQ(fuType(Op::Mul), FuType::Mul);
+    EXPECT_EQ(fuType(Op::Divu), FuType::Div);
+    EXPECT_EQ(fuType(Op::Jal), FuType::Jmp);
+    EXPECT_EQ(fuType(Op::Ld), FuType::Ldu);
+    EXPECT_EQ(fuType(Op::Sd), FuType::Sta);
+    EXPECT_EQ(fuType(Op::FmaddD), FuType::Fma);
+    EXPECT_EQ(fuType(Op::FdivS), FuType::Fdiv);
+    EXPECT_EQ(fuType(Op::FsgnjD), FuType::Fmisc);
+    EXPECT_EQ(fuType(Op::FcvtDL), FuType::Jmp); // i2f path
+    EXPECT_EQ(fuType(Op::Csrrw), FuType::Jmp);
+}
+
+TEST(OpMeta, NamesUnique)
+{
+    // Every op has a distinct, non-"unknown" name.
+    std::set<std::string> names;
+    for (int i = 1; i < static_cast<int>(Op::NumOps); ++i) {
+        std::string n = opName(static_cast<Op>(i));
+        EXPECT_NE(n, "unknown") << i;
+        EXPECT_TRUE(names.insert(n).second) << n;
+    }
+}
+
+} // namespace

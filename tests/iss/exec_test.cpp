@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "iss/exec.h"
+#include "iss/system.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::isa;
+using namespace minjie::iss;
+
+class ExecTest : public ::testing::Test
+{
+  protected:
+    ExecTest() : sys(16), mmu(st, sys.bus)
+    {
+        st.reset(DRAM_BASE, 0);
+    }
+
+    Trap
+    run(Op op, unsigned rd, unsigned rs1, unsigned rs2, int64_t imm = 0)
+    {
+        DecodedInst di;
+        di.op = op;
+        di.rd = static_cast<uint8_t>(rd);
+        di.rs1 = static_cast<uint8_t>(rs1);
+        di.rs2 = static_cast<uint8_t>(rs2);
+        di.imm = imm;
+        return execInst(st, mmu, di, fp::FpBackend::Host, &info);
+    }
+
+    System sys;
+    ArchState st;
+    Mmu mmu;
+    ExecInfo info;
+};
+
+TEST_F(ExecTest, ZeroRegisterStaysZero)
+{
+    st.setX(1, 42);
+    run(Op::Addi, 0, 1, 0, 100);
+    EXPECT_EQ(st.x[0], 0u);
+    run(Op::Add, 0, 1, 1);
+    EXPECT_EQ(st.x[0], 0u);
+}
+
+TEST_F(ExecTest, PcAdvances)
+{
+    Addr pc0 = st.pc;
+    run(Op::Addi, 1, 0, 0, 5);
+    EXPECT_EQ(st.pc, pc0 + 4);
+    EXPECT_EQ(st.x[1], 5u);
+}
+
+TEST_F(ExecTest, BranchesRedirect)
+{
+    Addr pc0 = st.pc;
+    st.setX(1, 1);
+    st.setX(2, 1);
+    run(Op::Beq, 0, 1, 2, 0x100);
+    EXPECT_EQ(st.pc, pc0 + 0x100);
+
+    Addr pc1 = st.pc;
+    run(Op::Bne, 0, 1, 2, 0x100); // not taken
+    EXPECT_EQ(st.pc, pc1 + 4);
+
+    // Signed vs unsigned comparison.
+    st.setX(1, static_cast<uint64_t>(-1));
+    st.setX(2, 1);
+    Addr pc2 = st.pc;
+    run(Op::Blt, 0, 1, 2, 0x40); // -1 < 1 signed: taken
+    EXPECT_EQ(st.pc, pc2 + 0x40);
+    Addr pc3 = st.pc;
+    run(Op::Bltu, 0, 1, 2, 0x40); // huge unsigned: not taken
+    EXPECT_EQ(st.pc, pc3 + 4);
+}
+
+TEST_F(ExecTest, JalLinks)
+{
+    Addr pc0 = st.pc;
+    run(Op::Jal, 1, 0, 0, 0x1000);
+    EXPECT_EQ(st.x[1], pc0 + 4);
+    EXPECT_EQ(st.pc, pc0 + 0x1000);
+
+    st.setX(5, DRAM_BASE + 0x555);
+    Addr pc1 = st.pc;
+    run(Op::Jalr, 1, 5, 0, 1);
+    // jalr clears bit 0 of the target.
+    EXPECT_EQ(st.pc, (DRAM_BASE + 0x556) & ~1ULL);
+    EXPECT_EQ(st.x[1], pc1 + 4);
+}
+
+TEST_F(ExecTest, LoadStoreRoundtrip)
+{
+    st.setX(1, DRAM_BASE + 0x100);
+    st.setX(2, 0xdeadbeefcafebabeULL);
+    run(Op::Sd, 0, 1, 2, 8);
+    run(Op::Ld, 3, 1, 0, 8);
+    EXPECT_EQ(st.x[3], 0xdeadbeefcafebabeULL);
+
+    // Sub-word sign extension.
+    run(Op::Lb, 4, 1, 0, 8);
+    EXPECT_EQ(st.x[4], 0xffffffffffffffbeULL);
+    run(Op::Lbu, 4, 1, 0, 8);
+    EXPECT_EQ(st.x[4], 0xbeULL);
+    run(Op::Lw, 4, 1, 0, 8);
+    EXPECT_EQ(st.x[4], 0xffffffffcafebabeULL);
+    run(Op::Lwu, 4, 1, 0, 8);
+    EXPECT_EQ(st.x[4], 0xcafebabeULL);
+
+    EXPECT_TRUE(info.memValid);
+}
+
+TEST_F(ExecTest, MisalignedLoadWorks)
+{
+    st.setX(1, DRAM_BASE + 0x101);
+    st.setX(2, 0x1122334455667788ULL);
+    run(Op::Sd, 0, 1, 2, 0);
+    run(Op::Ld, 3, 1, 0, 0);
+    EXPECT_EQ(st.x[3], 0x1122334455667788ULL);
+}
+
+TEST_F(ExecTest, DivisionEdgeCases)
+{
+    st.setX(1, static_cast<uint64_t>(INT64_MIN));
+    st.setX(2, static_cast<uint64_t>(-1));
+    run(Op::Div, 3, 1, 2);
+    EXPECT_EQ(st.x[3], static_cast<uint64_t>(INT64_MIN)); // overflow
+    run(Op::Rem, 3, 1, 2);
+    EXPECT_EQ(st.x[3], 0u);
+
+    st.setX(2, 0);
+    run(Op::Div, 3, 1, 2);
+    EXPECT_EQ(st.x[3], ~0ULL); // div by zero -> -1
+    run(Op::Divu, 3, 1, 2);
+    EXPECT_EQ(st.x[3], ~0ULL);
+    run(Op::Rem, 3, 1, 2);
+    EXPECT_EQ(st.x[3], static_cast<uint64_t>(INT64_MIN)); // dividend
+}
+
+TEST_F(ExecTest, Mulh)
+{
+    st.setX(1, ~0ULL); // -1
+    st.setX(2, ~0ULL);
+    run(Op::Mulh, 3, 1, 2);
+    EXPECT_EQ(st.x[3], 0u); // (-1)*(-1) = 1, high bits 0
+    run(Op::Mulhu, 3, 1, 2);
+    EXPECT_EQ(st.x[3], ~1ULL); // 0xfffe...
+    run(Op::Mulhsu, 3, 1, 2);
+    EXPECT_EQ(st.x[3], ~0ULL);
+}
+
+TEST_F(ExecTest, WordOpsSignExtend)
+{
+    st.setX(1, 0x7fffffff);
+    run(Op::Addiw, 2, 1, 0, 1);
+    EXPECT_EQ(st.x[2], 0xffffffff80000000ULL);
+    st.setX(1, 0x80000000);
+    run(Op::Addw, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 0xffffffff80000000ULL);
+    st.setX(1, 0xffffffff);
+    run(Op::Srliw, 2, 1, 0, 4);
+    EXPECT_EQ(st.x[2], 0x0fffffffULL);
+    run(Op::Sraiw, 2, 1, 0, 4);
+    EXPECT_EQ(st.x[2], 0xffffffffffffffffULL);
+}
+
+TEST_F(ExecTest, ZbbOps)
+{
+    st.setX(1, 0x00f0);
+    run(Op::Clz, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 56u);
+    run(Op::Ctz, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 4u);
+    run(Op::Cpop, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 4u);
+    st.setX(1, 0x80);
+    run(Op::SextB, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 0xffffffffffffff80ULL);
+    st.setX(1, 0x0102030405060708ULL);
+    run(Op::Rev8, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 0x0807060504030201ULL);
+    st.setX(1, 0x00ff010000000100ULL);
+    run(Op::OrcB, 2, 1, 0);
+    EXPECT_EQ(st.x[2], 0x00ffff000000ff00ULL);
+}
+
+TEST_F(ExecTest, ZbaOps)
+{
+    st.setX(1, 3);
+    st.setX(2, 100);
+    run(Op::Sh2add, 3, 1, 2);
+    EXPECT_EQ(st.x[3], 112u);
+    st.setX(1, 0x100000003ULL);
+    run(Op::AddUw, 3, 1, 2);
+    EXPECT_EQ(st.x[3], 103u); // only low 32 bits of rs1
+}
+
+TEST_F(ExecTest, AmoOps)
+{
+    st.setX(1, DRAM_BASE + 0x200);
+    st.setX(2, 10);
+    sys.bus.write(DRAM_BASE + 0x200, 8, 100);
+    run(Op::AmoAddD, 3, 1, 2);
+    EXPECT_EQ(st.x[3], 100u); // old value
+    uint64_t v;
+    sys.bus.read(DRAM_BASE + 0x200, 8, v);
+    EXPECT_EQ(v, 110u);
+
+    // amomax.w with negative values (sign matters).
+    sys.bus.write(DRAM_BASE + 0x200, 4, 0xffffffff); // -1
+    st.setX(2, 5);
+    run(Op::AmoMaxW, 3, 1, 2);
+    EXPECT_EQ(st.x[3], ~0ULL); // old = -1 sign-extended
+    sys.bus.read(DRAM_BASE + 0x200, 4, v);
+    EXPECT_EQ(v, 5u);
+
+    // Misaligned AMO traps.
+    st.setX(1, DRAM_BASE + 0x201);
+    Trap t = run(Op::AmoAddW, 3, 1, 2);
+    EXPECT_EQ(t.cause, Exc::StoreAddrMisaligned);
+}
+
+TEST_F(ExecTest, LrScSuccessAndFailure)
+{
+    st.setX(1, DRAM_BASE + 0x300);
+    st.setX(2, 77);
+    sys.bus.write(DRAM_BASE + 0x300, 8, 42);
+
+    run(Op::LrD, 3, 1, 0);
+    EXPECT_EQ(st.x[3], 42u);
+    run(Op::ScD, 4, 1, 2);
+    EXPECT_EQ(st.x[4], 0u); // success
+    uint64_t v;
+    sys.bus.read(DRAM_BASE + 0x300, 8, v);
+    EXPECT_EQ(v, 77u);
+
+    // sc without a reservation fails and does not store.
+    run(Op::ScD, 4, 1, 2);
+    EXPECT_EQ(st.x[4], 1u);
+    EXPECT_TRUE(info.scFailed);
+}
+
+TEST_F(ExecTest, EcallTrapsByPrivilege)
+{
+    Trap t = run(Op::Ecall, 0, 0, 0);
+    EXPECT_EQ(t.cause, Exc::EcallFromM);
+    st.priv = Priv::S;
+    t = run(Op::Ecall, 0, 0, 0);
+    EXPECT_EQ(t.cause, Exc::EcallFromS);
+    st.priv = Priv::U;
+    t = run(Op::Ecall, 0, 0, 0);
+    EXPECT_EQ(t.cause, Exc::EcallFromU);
+}
+
+TEST_F(ExecTest, TrapAndMret)
+{
+    st.csr.mtvec = DRAM_BASE + 0x800;
+    Addr epc = st.pc;
+    Trap t = run(Op::Ecall, 0, 0, 0);
+    takeTrap(st, t, epc);
+    EXPECT_EQ(st.pc, DRAM_BASE + 0x800);
+    EXPECT_EQ(st.csr.mepc, epc);
+    EXPECT_EQ(st.csr.mcause, 11u);
+    EXPECT_EQ(st.priv, Priv::M);
+
+    run(Op::Mret, 0, 0, 0);
+    EXPECT_EQ(st.pc, epc);
+    EXPECT_EQ(st.priv, Priv::M); // MPP was M
+}
+
+TEST_F(ExecTest, IllegalInstTraps)
+{
+    Trap t = run(Op::Illegal, 0, 0, 0);
+    EXPECT_EQ(t.cause, Exc::IllegalInst);
+    // mret from S-mode is illegal.
+    st.priv = Priv::S;
+    t = run(Op::Mret, 0, 0, 0);
+    EXPECT_EQ(t.cause, Exc::IllegalInst);
+}
+
+TEST_F(ExecTest, FpThroughExecutor)
+{
+    // 1.5 + 2.5 = 4.0 via fadd.d
+    st.f[1] = std::bit_cast<uint64_t>(1.5);
+    st.f[2] = std::bit_cast<uint64_t>(2.5);
+    DecodedInst di;
+    di.op = Op::FaddD;
+    di.rd = 3;
+    di.rs1 = 1;
+    di.rs2 = 2;
+    di.rm = 0;
+    EXPECT_FALSE(execInst(st, mmu, di, fp::FpBackend::Host).pending());
+    EXPECT_EQ(std::bit_cast<double>(st.f[3]), 4.0);
+
+    // Invalid rounding mode traps.
+    di.rm = 5;
+    EXPECT_EQ(execInst(st, mmu, di, fp::FpBackend::Host).cause,
+              Exc::IllegalInst);
+}
+
+TEST_F(ExecTest, MmioStoreFlagged)
+{
+    st.setX(1, mem::Uart::DEFAULT_BASE);
+    st.setX(2, 'A');
+    run(Op::Sb, 0, 1, 2, 0);
+    EXPECT_TRUE(info.isMmio);
+    EXPECT_EQ(sys.uart.output(), "A");
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iss/interp.h"
+#include "iss/system.h"
+#include "workload/programs.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::iss;
+namespace wl = minjie::workload;
+
+enum class Engine { Spike, Dromajo, Tci };
+
+std::unique_ptr<Interp>
+makeEngine(Engine e, System &sys, Addr entry)
+{
+    switch (e) {
+      case Engine::Spike:
+        return std::make_unique<SpikeInterp>(sys.bus, 0, entry);
+      case Engine::Dromajo:
+        return std::make_unique<DromajoInterp>(sys.bus, 0, entry);
+      default:
+        return std::make_unique<TciInterp>(sys.bus, 0, entry);
+    }
+}
+
+class InterpEngineTest : public ::testing::TestWithParam<Engine> {};
+
+TEST_P(InterpEngineTest, SumProgramExitsZero)
+{
+    System sys(32);
+    auto prog = wl::sumProgram(1000);
+    prog.loadInto(sys.dram);
+    auto interp = makeEngine(GetParam(), sys, prog.entry);
+    interp->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp->run(1'000'000);
+    ASSERT_TRUE(r.halted) << "program did not exit";
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+    // Roughly 3 instructions per loop iteration plus prologue.
+    EXPECT_GT(r.executed, 3000u);
+    EXPECT_LT(r.executed, 3200u);
+}
+
+TEST_P(InterpEngineTest, CoremarkProxyRuns)
+{
+    System sys(32);
+    auto prog = wl::coremarkProxy(5);
+    prog.loadInto(sys.dram);
+    auto interp = makeEngine(GetParam(), sys, prog.entry);
+    interp->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp->run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+}
+
+TEST_P(InterpEngineTest, ProxyBenchmarkRuns)
+{
+    System sys(64);
+    auto prog = wl::buildProxy(wl::specIntSuite()[5], 20); // sjeng proxy
+    prog.loadInto(sys.dram);
+    auto interp = makeEngine(GetParam(), sys, prog.entry);
+    interp->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp->run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+}
+
+TEST_P(InterpEngineTest, FpProxyRuns)
+{
+    System sys(64);
+    auto prog = wl::buildProxy(wl::specFpSuite()[0], 20); // bwaves proxy
+    prog.loadInto(sys.dram);
+    auto interp = makeEngine(GetParam(), sys, prog.entry);
+    interp->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp->run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, InterpEngineTest,
+    ::testing::Values(Engine::Spike, Engine::Dromajo, Engine::Tci),
+    [](const ::testing::TestParamInfo<Engine> &info) {
+        switch (info.param) {
+          case Engine::Spike: return "Spike";
+          case Engine::Dromajo: return "Dromajo";
+          default: return "Tci";
+        }
+    });
+
+TEST(Interp, SpikeDecodeCacheIsEffective)
+{
+    System sys(32);
+    auto prog = wl::sumProgram(10000);
+    prog.loadInto(sys.dram);
+    SpikeInterp interp(sys.bus, 0, prog.entry);
+    interp.setHaltFn([&] { return sys.simctrl.exited(); });
+    interp.run(1'000'000);
+    // A tight loop should hit the decode cache almost always.
+    EXPECT_GT(interp.decodeCacheHits(),
+              interp.decodeCacheMisses() * 100);
+}
+
+TEST(Interp, InstretCounts)
+{
+    System sys(32);
+    auto prog = wl::sumProgram(10);
+    prog.loadInto(sys.dram);
+    DromajoInterp interp(sys.bus, 0, prog.entry);
+    interp.setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp.run(100000);
+    EXPECT_EQ(interp.state().instret, r.executed);
+    EXPECT_EQ(interp.state().csr.minstret, r.executed);
+}
+
+TEST(Interp, MemStressDirtiesPages)
+{
+    System sys(64);
+    auto prog = wl::memStressProgram(2000, 16);
+    prog.loadInto(sys.dram);
+    SpikeInterp interp(sys.bus, 0, prog.entry);
+    interp.setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp.run(10'000'000);
+    ASSERT_TRUE(r.halted);
+    // The stress loop should have touched many distinct pages.
+    EXPECT_GT(sys.dram.allocatedPages(), 500u);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "iss/mmu.h"
+#include "iss/system.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::isa;
+using namespace minjie::iss;
+
+constexpr uint64_t PTE_V = 1 << 0, PTE_R = 1 << 1, PTE_W = 1 << 2,
+                   PTE_X = 1 << 3, PTE_U = 1 << 4, PTE_A = 1 << 6,
+                   PTE_D = 1 << 7;
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest() : sys(32), mmu(st, sys.bus)
+    {
+        st.reset(DRAM_BASE, 0);
+        // Root page table at DRAM_BASE + 1MB, L1 at +1MB+4K, L0 at +8K.
+        root = DRAM_BASE + 0x100000;
+        l1 = root + 0x1000;
+        l0 = root + 0x2000;
+        st.csr.satp = (SATP_MODE_SV39 << SATP_MODE_SHIFT) | (root >> 12);
+        st.priv = Priv::S;
+    }
+
+    /** Map 4K page at va -> pa with @p perms (installs the 3 levels). */
+    void
+    map(Addr va, Addr pa, uint64_t perms)
+    {
+        unsigned vpn2 = (va >> 30) & 0x1ff;
+        unsigned vpn1 = (va >> 21) & 0x1ff;
+        unsigned vpn0 = (va >> 12) & 0x1ff;
+        sys.bus.write(root + vpn2 * 8, 8, ((l1 >> 12) << 10) | PTE_V);
+        sys.bus.write(l1 + vpn1 * 8, 8, ((l0 >> 12) << 10) | PTE_V);
+        sys.bus.write(l0 + vpn0 * 8, 8, ((pa >> 12) << 10) | perms);
+    }
+
+    /** Map a 2MB superpage. */
+    void
+    mapSuper(Addr va, Addr pa, uint64_t perms)
+    {
+        unsigned vpn2 = (va >> 30) & 0x1ff;
+        unsigned vpn1 = (va >> 21) & 0x1ff;
+        sys.bus.write(root + vpn2 * 8, 8, ((l1 >> 12) << 10) | PTE_V);
+        sys.bus.write(l1 + vpn1 * 8, 8, ((pa >> 12) << 10) | perms);
+    }
+
+    System sys;
+    ArchState st;
+    Mmu mmu;
+    Addr root, l1, l0;
+};
+
+TEST_F(MmuTest, BareModePassesThrough)
+{
+    st.csr.satp = 0;
+    Addr pa;
+    EXPECT_FALSE(mmu.translate(0x12345678, Access::Load, pa).pending());
+    EXPECT_EQ(pa, 0x12345678u);
+}
+
+TEST_F(MmuTest, MachineModeBypassesTranslation)
+{
+    st.priv = Priv::M;
+    Addr pa;
+    EXPECT_FALSE(mmu.translate(0x1000, Access::Load, pa).pending());
+    EXPECT_EQ(pa, 0x1000u);
+}
+
+TEST_F(MmuTest, BasicWalk)
+{
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_W | PTE_A | PTE_D);
+    Addr pa;
+    EXPECT_FALSE(mmu.translate(0x4abc, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x5abc);
+    EXPECT_EQ(mmu.stats().pageWalks, 1u);
+    // Second access hits the TLB.
+    EXPECT_FALSE(mmu.translate(0x4def, Access::Load, pa).pending());
+    EXPECT_EQ(mmu.stats().pageWalks, 1u);
+    EXPECT_GE(mmu.stats().tlbHits, 1u);
+}
+
+TEST_F(MmuTest, UnmappedFaults)
+{
+    Addr pa;
+    Trap t = mmu.translate(0x9000, Access::Load, pa);
+    EXPECT_EQ(t.cause, Exc::LoadPageFault);
+    EXPECT_EQ(t.tval, 0x9000u);
+    t = mmu.translate(0x9000, Access::Store, pa);
+    EXPECT_EQ(t.cause, Exc::StorePageFault);
+    t = mmu.translate(0x9000, Access::Fetch, pa);
+    EXPECT_EQ(t.cause, Exc::InstPageFault);
+}
+
+TEST_F(MmuTest, PermissionChecks)
+{
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_A | PTE_D);
+    Addr pa;
+    EXPECT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+    EXPECT_EQ(mmu.translate(0x4000, Access::Store, pa).cause,
+              Exc::StorePageFault);
+    EXPECT_EQ(mmu.translate(0x4000, Access::Fetch, pa).cause,
+              Exc::InstPageFault);
+}
+
+TEST_F(MmuTest, UserPageFromSupervisorNeedsSum)
+{
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_R | PTE_U | PTE_A | PTE_D);
+    Addr pa;
+    EXPECT_EQ(mmu.translate(0x4000, Access::Load, pa).cause,
+              Exc::LoadPageFault);
+    st.csr.mstatus |= MSTATUS_SUM;
+    mmu.flushTlb();
+    EXPECT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+}
+
+TEST_F(MmuTest, SupervisorPageFromUserFaults)
+{
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_A | PTE_D);
+    st.priv = Priv::U;
+    Addr pa;
+    EXPECT_EQ(mmu.translate(0x4000, Access::Load, pa).cause,
+              Exc::LoadPageFault);
+}
+
+TEST_F(MmuTest, SuperpageTranslation)
+{
+    mapSuper(0x40000000, DRAM_BASE,
+             PTE_V | PTE_R | PTE_W | PTE_X | PTE_A | PTE_D);
+    Addr pa;
+    EXPECT_FALSE(
+        mmu.translate(0x40123456, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x123456);
+}
+
+TEST_F(MmuTest, MisalignedSuperpageFaults)
+{
+    // Superpage with nonzero low PPN bits is reserved.
+    mapSuper(0x40000000, DRAM_BASE + 0x1000,
+             PTE_V | PTE_R | PTE_A | PTE_D);
+    Addr pa;
+    EXPECT_EQ(mmu.translate(0x40000000, Access::Load, pa).cause,
+              Exc::LoadPageFault);
+}
+
+TEST_F(MmuTest, HardwareAdUpdate)
+{
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_W);
+    Addr pa;
+    EXPECT_FALSE(mmu.translate(0x4000, Access::Store, pa).pending());
+    uint64_t pte;
+    unsigned vpn0 = (0x4000 >> 12) & 0x1ff;
+    sys.bus.read(l0 + vpn0 * 8, 8, pte);
+    EXPECT_TRUE(pte & PTE_A);
+    EXPECT_TRUE(pte & PTE_D);
+}
+
+TEST_F(MmuTest, StaleTlbAfterRemapNeedsSfence)
+{
+    // This is exactly the scenario behind the paper's Figure 3 diff-rule:
+    // a cached translation survives a PTE change until sfence.vma.
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_A | PTE_D);
+    Addr pa;
+    ASSERT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x5000);
+
+    // Remap the page elsewhere without flushing.
+    map(0x4000, DRAM_BASE + 0x7000, PTE_V | PTE_R | PTE_A | PTE_D);
+    ASSERT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x5000); // stale mapping still visible
+
+    mmu.flushTlb();
+    ASSERT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x7000);
+}
+
+TEST_F(MmuTest, NonCanonicalVaFaults)
+{
+    Addr pa;
+    EXPECT_EQ(mmu.translate(0x0000400000000000ULL, Access::Load, pa).cause,
+              Exc::LoadPageFault);
+}
+
+TEST_F(MmuTest, FetchCrossingPageBoundary)
+{
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    map(0x5000, DRAM_BASE + 0x6000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    // Place a 32-bit instruction spanning the 4K boundary.
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x81b3 & 0xffff);
+    sys.bus.write(DRAM_BASE + 0x6000, 2, 0x0020);
+    uint32_t raw;
+    EXPECT_FALSE(mmu.fetch(0x4ffe, raw).pending());
+    EXPECT_EQ(raw, 0x002081b3u);
+}
+
+TEST_F(MmuTest, MprvUsesMppForDataAccess)
+{
+    map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_A | PTE_D);
+    st.priv = Priv::M;
+    st.csr.mstatus |= MSTATUS_MPRV | (1ULL << 11); // MPP = S
+    Addr pa;
+    // Data access translates as S.
+    EXPECT_FALSE(mmu.translate(0x4000, Access::Load, pa).pending());
+    EXPECT_EQ(pa, DRAM_BASE + 0x5000);
+    // Fetch ignores MPRV: machine-mode fetch is untranslated.
+    EXPECT_FALSE(mmu.translate(0x8000, Access::Fetch, pa).pending());
+    EXPECT_EQ(pa, 0x8000u);
+}
+
+} // namespace

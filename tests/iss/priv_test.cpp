@@ -1,0 +1,143 @@
+/**
+ * Privilege-architecture integration tests: M->S delegation, sret,
+ * and a full Sv39 end-to-end program that builds its own page tables,
+ * enables translation, and runs through virtual addresses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iss/interp.h"
+#include "iss/system.h"
+#include "workload/programs.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::isa;
+using namespace minjie::iss;
+namespace wl = minjie::workload;
+
+TEST(Priv, DelegatedEcallLandsInSMode)
+{
+    System sys(32);
+    ArchState st;
+    st.reset(DRAM_BASE, 0);
+    Mmu mmu(st, sys.bus);
+
+    st.csr.medeleg = 1ULL << 8; // delegate ecall-from-U
+    st.csr.stvec = DRAM_BASE + 0x500;
+    st.csr.mtvec = DRAM_BASE + 0x900;
+    st.priv = Priv::U;
+
+    DecodedInst ecall;
+    ecall.op = Op::Ecall;
+    Trap t = execInst(st, mmu, ecall, fp::FpBackend::Host);
+    ASSERT_EQ(t.cause, Exc::EcallFromU);
+    takeTrap(st, t, st.pc);
+
+    EXPECT_EQ(st.priv, Priv::S);
+    EXPECT_EQ(st.pc, DRAM_BASE + 0x500);
+    EXPECT_EQ(st.csr.scause, 8u);
+    // Non-delegated cause still goes to M.
+    st.priv = Priv::S;
+    DecodedInst ill;
+    ill.op = Op::Illegal;
+    t = execInst(st, mmu, ill, fp::FpBackend::Host);
+    takeTrap(st, t, st.pc);
+    EXPECT_EQ(st.priv, Priv::M);
+    EXPECT_EQ(st.pc, DRAM_BASE + 0x900);
+}
+
+TEST(Priv, SretRestoresPrivilege)
+{
+    System sys(32);
+    ArchState st;
+    st.reset(DRAM_BASE, 0);
+    Mmu mmu(st, sys.bus);
+
+    st.priv = Priv::S;
+    st.csr.sepc = DRAM_BASE + 0x1234;
+    st.csr.mstatus &= ~MSTATUS_SPP; // previous privilege: U
+    st.csr.mstatus |= MSTATUS_SPIE;
+
+    DecodedInst sret;
+    sret.op = Op::Sret;
+    ASSERT_FALSE(execInst(st, mmu, sret, fp::FpBackend::Host).pending());
+    EXPECT_EQ(st.priv, Priv::U);
+    EXPECT_EQ(st.pc, DRAM_BASE + 0x1234);
+    EXPECT_TRUE(st.csr.mstatus & MSTATUS_SIE); // SPIE restored into SIE
+}
+
+TEST(Priv, TsrMakesSretIllegal)
+{
+    System sys(32);
+    ArchState st;
+    st.reset(DRAM_BASE, 0);
+    Mmu mmu(st, sys.bus);
+    st.priv = Priv::S;
+    st.csr.mstatus |= MSTATUS_TSR;
+    DecodedInst sret;
+    sret.op = Op::Sret;
+    EXPECT_EQ(execInst(st, mmu, sret, fp::FpBackend::Host).cause,
+              Exc::IllegalInst);
+}
+
+TEST(Priv, InterruptPriorityOrder)
+{
+    System sys(32);
+    ArchState st;
+    st.reset(DRAM_BASE, 0);
+    st.csr.mstatus |= MSTATUS_MIE;
+    st.csr.mie = MIP_MTIP | MIP_MEIP | MIP_MSIP;
+    st.csr.mip = MIP_MTIP | MIP_MEIP | MIP_MSIP;
+    // MEI beats MSI beats MTI.
+    EXPECT_EQ(pendingInterrupt(st), 11u);
+    st.csr.mip &= ~MIP_MEIP;
+    EXPECT_EQ(pendingInterrupt(st), 3u);
+    st.csr.mip &= ~MIP_MSIP;
+    EXPECT_EQ(pendingInterrupt(st), 7u);
+    // Disabled globally in M-mode: nothing deliverable.
+    st.csr.mstatus &= ~MSTATUS_MIE;
+    EXPECT_EQ(pendingInterrupt(st), ~0ULL);
+}
+
+class Sv39EngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Sv39EngineTest, PagedExecutionOnEveryEngine)
+{
+    auto prog = wl::sv39Program();
+    System sys(64);
+    prog.loadInto(sys.dram);
+
+    std::unique_ptr<Interp> engine;
+    switch (GetParam()) {
+      case 0:
+        engine = std::make_unique<SpikeInterp>(sys.bus, 0, prog.entry);
+        break;
+      case 1:
+        engine = std::make_unique<DromajoInterp>(sys.bus, 0, prog.entry);
+        break;
+      default:
+        engine = std::make_unique<TciInterp>(sys.bus, 0, prog.entry);
+        break;
+    }
+    engine->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = engine->run(100'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+    EXPECT_EQ(engine->state().priv, Priv::S);
+    EXPECT_EQ(engine->state().x[wl::a0], 5050u);
+    EXPECT_EQ(engine->state().x[wl::a2], 5050u);
+    EXPECT_GT(engine->mmu().stats().pageWalks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, Sv39EngineTest, ::testing::Range(0, 3),
+                         [](const ::testing::TestParamInfo<int> &i) {
+                             switch (i.param) {
+                               case 0: return "Spike";
+                               case 1: return "Dromajo";
+                               default: return "Tci";
+                             }
+                         });
+
+} // namespace

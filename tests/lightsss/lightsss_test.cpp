@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "lightsss/lightsss.h"
+#include "lightsss/sss.h"
+#include "nemu/nemu.h"
+#include "iss/system.h"
+#include "workload/programs.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::lightsss;
+namespace wl = minjie::workload;
+
+std::string
+tmpPath(const char *tag)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "/tmp/lightsss_test_%s_%d", tag,
+                  getpid());
+    return buf;
+}
+
+TEST(LightSSS, ForkIsCheap)
+{
+    LightSSS sss({1000, 2, true});
+    // Tick across three intervals: three forks.
+    for (Cycle c = 0; c <= 3000; c += 500) {
+        auto role = sss.tick(c);
+        ASSERT_EQ(role, LightSSS::Role::Parent);
+    }
+    EXPECT_GE(sss.stats().forks, 3u);
+    // The headline claim: a fork costs far less than an SSS image
+    // (paper: 535us vs 3.671s). Allow generous slack for CI noise.
+    EXPECT_LT(sss.stats().lastForkUs, 200'000u);
+    sss.discardAll();
+}
+
+TEST(LightSSS, KeepsOnlyTwoSnapshots)
+{
+    LightSSS sss({100, 2, true});
+    for (Cycle c = 0; c <= 1000; c += 100)
+        sss.tick(c);
+    EXPECT_GE(sss.stats().kills, 8u);
+    sss.discardAll();
+}
+
+TEST(LightSSS, ReplayChildReRunsWindow)
+{
+    // Full protocol: simulate with periodic snapshots; detect a
+    // "failure"; the oldest snapshot replays the window and reports
+    // its replayed cycle range through a file.
+    std::string marker = tmpPath("replay");
+    std::remove(marker.c_str());
+
+    LightSSS sss({1000, 2, true});
+    const Cycle failAt = 3456;
+    bool replayed = false;
+
+    for (Cycle c = 0; c <= failAt; ++c) {
+        auto role = sss.tick(c);
+        if (role == LightSSS::Role::ReplayChild) {
+            // We are the snapshot: our cycle counter is c (the fork
+            // point). Replay up to the failure target.
+            std::ofstream out(marker);
+            out << sss.snapshotCycle() << " " << sss.replayTargetCycle();
+            out.close();
+            LightSSS::finishReplay(0);
+        }
+        // ... simulation work would happen here ...
+    }
+    ASSERT_TRUE(sss.triggerReplay(failAt));
+    replayed = true;
+
+    ASSERT_TRUE(replayed);
+    std::ifstream in(marker);
+    ASSERT_TRUE(in.good()) << "replay child did not run";
+    Cycle snapCycle, target;
+    in >> snapCycle >> target;
+    EXPECT_EQ(target, failAt);
+    // Oldest surviving snapshot: at most 2 intervals before failure.
+    EXPECT_LE(failAt - snapCycle, 2000u);
+    EXPECT_GT(snapCycle, 0u);
+    std::remove(marker.c_str());
+}
+
+TEST(LightSSS, ReplayChildSeesSnapshotMemoryState)
+{
+    // The property that makes fork() snapshots work: the child sees
+    // the memory image as of the fork, not the parent's later writes.
+    std::string marker = tmpPath("mem");
+    std::remove(marker.c_str());
+
+    static volatile uint64_t counter = 0;
+    LightSSS sss({100, 2, true});
+    for (Cycle c = 0; c <= 250; ++c) {
+        counter = c;
+        auto role = sss.tick(c);
+        if (role == LightSSS::Role::ReplayChild) {
+            std::ofstream out(marker);
+            out << counter; // must be the fork-time value
+            out.close();
+            LightSSS::finishReplay(0);
+        }
+    }
+    ASSERT_TRUE(sss.triggerReplay(250));
+    std::ifstream in(marker);
+    ASSERT_TRUE(in.good());
+    uint64_t seen;
+    in >> seen;
+    // Oldest snapshot was taken at cycle 100 (c=0 fork then c=100).
+    EXPECT_LE(seen, 100u);
+    std::remove(marker.c_str());
+}
+
+TEST(LightSSS, NoSnapshotMeansNoReplay)
+{
+    LightSSS sss({1'000'000, 2, true});
+    LightSSS dis({1000, 2, false});
+    EXPECT_FALSE(dis.enabled() && false);
+    // Disabled instance never forks.
+    for (Cycle c = 0; c < 5000; c += 500)
+        EXPECT_EQ(dis.tick(c), LightSSS::Role::Parent);
+    EXPECT_EQ(dis.stats().forks, 0u);
+    EXPECT_FALSE(dis.triggerReplay(123));
+}
+
+TEST(Sss, FullImageSnapshotAndRestore)
+{
+    iss::System sys(32);
+    auto prog = wl::sumProgram(100);
+    prog.loadInto(sys.dram);
+    nemu::Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+
+    SssSnapshotter sss(sys.dram);
+    nemu.run(50);
+    iss::ArchState mid = nemu.state();
+    size_t bytes = sss.takeSnapshot(nemu.state(), 50);
+    EXPECT_GT(bytes, 4096u);
+
+    nemu.run(1000); // run further, dirtying state
+
+    iss::ArchState restored;
+    Cycle cycle = sss.restoreOldest(restored);
+    EXPECT_EQ(cycle, 50u);
+    EXPECT_EQ(restored.pc, mid.pc);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(restored.x[i], mid.x[i]) << i;
+}
+
+TEST(Sss, SnapshotCostGrowsWithMemory)
+{
+    iss::System sys(256);
+    // Dirty a lot of pages.
+    for (Addr a = 0; a < 64 * 1024 * 1024; a += 4096)
+        sys.dram.write(iss::DRAM_BASE + a, 8, a);
+    iss::ArchState st;
+    SssSnapshotter sss(sys.dram);
+    sss.takeSnapshot(st, 0);
+    uint64_t big = sss.lastSnapshotUs();
+
+    iss::System small(16);
+    for (Addr a = 0; a < 1024 * 1024; a += 4096)
+        small.dram.write(iss::DRAM_BASE + a, 8, a);
+    SssSnapshotter sss2(small.dram);
+    sss2.takeSnapshot(st, 0);
+    uint64_t smallUs = sss2.lastSnapshotUs();
+
+    // The paper's point: SSS cost scales with simulated memory.
+    EXPECT_GT(big, smallUs * 4);
+}
+
+TEST(LightSSS, ForkBeatsSssByOrdersOfMagnitude)
+{
+    // Section III-C4: fork() ~535us vs SSS ~3.7s. Verify the ratio
+    // holds with a heavily dirtied memory image.
+    iss::System sys(256);
+    for (Addr a = 0; a < 128 * 1024 * 1024; a += 4096)
+        sys.dram.write(iss::DRAM_BASE + a, 8, a);
+
+    iss::ArchState st;
+    SssSnapshotter sssFull(sys.dram);
+    sssFull.takeSnapshot(st, 0);
+    uint64_t sssUs = sssFull.lastSnapshotUs();
+
+    LightSSS light({1000, 2, true});
+    light.tick(0);
+    light.tick(1000);
+    uint64_t forkUs = light.stats().lastForkUs;
+    light.discardAll();
+
+    EXPECT_LT(forkUs * 10, sssUs)
+        << "fork " << forkUs << "us vs SSS " << sssUs << "us";
+}
+
+} // namespace

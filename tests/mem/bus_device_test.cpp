@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "mem/bus.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::mem;
+
+TEST(Bus, RoutesDramAndDevices)
+{
+    PhysMem dram(0x80000000, 1 << 20);
+    Bus bus(dram);
+    Uart uart;
+    SimCtrl ctl;
+    bus.addDevice(&uart);
+    bus.addDevice(&ctl);
+
+    // DRAM path.
+    ASSERT_TRUE(bus.write(0x80000000, 8, 42));
+    uint64_t v;
+    ASSERT_TRUE(bus.read(0x80000000, 8, v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_FALSE(bus.isMmio(0x80000000));
+
+    // Device path.
+    EXPECT_TRUE(bus.isMmio(Uart::DEFAULT_BASE));
+    ASSERT_TRUE(bus.write(Uart::DEFAULT_BASE, 1, 'x'));
+    EXPECT_EQ(uart.output(), "x");
+
+    // Unmapped hole.
+    EXPECT_FALSE(bus.read(0x20000000, 8, v));
+    EXPECT_FALSE(bus.isMmio(0x20000000));
+}
+
+TEST(Uart, LineStatusAlwaysReady)
+{
+    Uart uart;
+    uint64_t v;
+    uart.read(5, 1, v);
+    EXPECT_EQ(v, 0x20u); // TX empty
+    uart.write(0, 1, 'h');
+    uart.write(0, 1, 'i');
+    EXPECT_EQ(uart.output(), "hi");
+    uart.clearOutput();
+    EXPECT_TRUE(uart.output().empty());
+}
+
+TEST(Clint, TimerComparatorSemantics)
+{
+    Clint clint;
+    EXPECT_FALSE(clint.timerIrq(0)); // mtimecmp resets to ~0
+    clint.write(0x4000, 8, 100);     // mtimecmp[0] = 100
+    EXPECT_FALSE(clint.timerIrq(0));
+    clint.tick(99);
+    EXPECT_FALSE(clint.timerIrq(0));
+    clint.tick(1);
+    EXPECT_TRUE(clint.timerIrq(0));
+    uint64_t v;
+    clint.read(0xbff8, 8, v);
+    EXPECT_EQ(v, 100u);
+
+    // Per-hart comparators are independent.
+    clint.write(0x4008, 8, 50); // mtimecmp[1]
+    EXPECT_TRUE(clint.timerIrq(1));
+    clint.write(0x4008, 8, 5000);
+    EXPECT_FALSE(clint.timerIrq(1));
+}
+
+TEST(Clint, SoftwareInterruptBits)
+{
+    Clint clint;
+    EXPECT_FALSE(clint.softwareIrq(0));
+    clint.write(0, 4, 1); // msip[0]
+    EXPECT_TRUE(clint.softwareIrq(0));
+    EXPECT_FALSE(clint.softwareIrq(1));
+    clint.write(0, 4, 0);
+    EXPECT_FALSE(clint.softwareIrq(0));
+}
+
+TEST(SimCtrl, ExitProtocol)
+{
+    SimCtrl ctl;
+    EXPECT_FALSE(ctl.exited());
+    ctl.write(0, 8, (77 << 1) | 1);
+    EXPECT_TRUE(ctl.exited());
+    EXPECT_EQ(ctl.exitCode(), 77u);
+    ctl.write(8, 1, 'z');
+    EXPECT_EQ(ctl.output(), "z");
+    ctl.reset();
+    EXPECT_FALSE(ctl.exited());
+}
+
+} // namespace

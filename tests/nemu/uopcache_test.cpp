@@ -1,0 +1,121 @@
+/**
+ * uop-cache behaviour tests: trace organization, capacity flushes,
+ * block chaining, and mid-block entry (jump targets land inside an
+ * already-translated block).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nemu/nemu.h"
+#include "iss/system.h"
+#include "workload/programs.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::iss;
+using minjie::nemu::Nemu;
+namespace wl = minjie::workload;
+
+TEST(UopCache, CapacityFlushAndRefill)
+{
+    // A program whose code footprint exceeds a tiny uop cache: N
+    // distinct straight-line chunks chained by jumps, looped twice.
+    wl::Layout layout;
+    wl::Asm a(layout.codeBase);
+    a.li(wl::s2, 3); // outer passes
+    wl::Label top = a.boundLabel();
+    for (int chunk = 0; chunk < 40; ++chunk)
+        for (int i = 0; i < 16; ++i)
+            a.itype(isa::Op::Addi, wl::a0, wl::a0, 1);
+    a.itype(isa::Op::Addi, wl::s2, wl::s2, -1);
+    a.branch(isa::Op::Bne, wl::s2, wl::zero, top);
+    a.exit(0);
+    wl::Program prog;
+    prog.entry = layout.codeBase;
+    prog.segments.push_back(a.finish());
+
+    System sys(32);
+    prog.loadInto(sys.dram);
+    Nemu nemu(sys.bus, sys.dram, 0, prog.entry, /*uopCacheCap=*/256);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = nemu.run(100'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(sys.simctrl.exitCode(), 0u);
+    // 640+ instructions of code with a 256-entry cache: flushes and
+    // retranslations are mandatory, and results stay correct.
+    EXPECT_GE(nemu.stats().flushes, 3u);
+    EXPECT_GT(nemu.stats().translations, 640u);
+    EXPECT_EQ(nemu.state().x[wl::a0], 3u * 40 * 16);
+}
+
+TEST(UopCache, MidBlockEntry)
+{
+    // A backward branch targets the middle of a previously-translated
+    // block: the per-instruction pc map must resolve it.
+    wl::Layout layout;
+    wl::Asm a(layout.codeBase);
+    a.li(wl::a0, 0);
+    a.li(wl::s2, 10);
+    a.itype(isa::Op::Addi, wl::a0, wl::a0, 100); // block head (run once)
+    wl::Label mid = a.boundLabel();              // mid-block target
+    a.itype(isa::Op::Addi, wl::a0, wl::a0, 1);
+    a.itype(isa::Op::Addi, wl::s2, wl::s2, -1);
+    a.branch(isa::Op::Bne, wl::s2, wl::zero, mid);
+    a.exit(0);
+    wl::Program prog;
+    prog.entry = layout.codeBase;
+    prog.segments.push_back(a.finish());
+
+    System sys(32);
+    prog.loadInto(sys.dram);
+    Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = nemu.run(10'000);
+    ASSERT_TRUE(r.halted);
+    EXPECT_EQ(nemu.state().x[wl::a0], 110u);
+}
+
+TEST(UopCache, ChainingResolvesOnce)
+{
+    // A steady loop: after warmup, branch targets are chained and the
+    // resolve counter stops growing.
+    auto prog = wl::sumProgram(5000);
+    System sys(32);
+    prog.loadInto(sys.dram);
+    Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+    nemu.run(1'000);
+    uint64_t early = nemu.stats().chainResolves;
+    nemu.run(1'000'000);
+    uint64_t late = nemu.stats().chainResolves;
+    // Thousands of loop iterations later, only a handful of new edges.
+    EXPECT_LT(late - early, 20u);
+}
+
+TEST(UopCache, TraceOrganizationGroupsSequentially)
+{
+    // Within a block, successive instructions occupy successive uop
+    // slots (the "+1" advance): observable indirectly via translation
+    // count == static code size on a straight-line program.
+    wl::Layout layout;
+    wl::Asm a(layout.codeBase);
+    for (int i = 0; i < 50; ++i)
+        a.itype(isa::Op::Addi, wl::a0, wl::a0, 1);
+    a.exit(0);
+    wl::Program prog;
+    prog.entry = layout.codeBase;
+    prog.segments.push_back(a.finish());
+
+    System sys(32);
+    prog.loadInto(sys.dram);
+    Nemu nemu(sys.bus, sys.dram, 0, prog.entry);
+    nemu.setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = nemu.run(10'000);
+    ASSERT_TRUE(r.halted);
+    // Straight-line code: every instruction translated exactly once.
+    EXPECT_LE(nemu.stats().translations, 70u);
+    EXPECT_EQ(nemu.state().x[wl::a0], 50u);
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "uarch/predictors.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::uarch;
+
+namespace {
+/** Drive one fetch-predict/commit-train round like the core does. */
+bool
+trainOnce(Tage &tage, Addr pc, bool taken)
+{
+    auto p = tage.predict(pc);
+    tage.pushHistory(taken);
+    tage.update(p, taken);
+    return p.taken == taken;
+}
+} // namespace
+
+TEST(Tage, LearnsAlwaysTaken)
+{
+    Tage tage;
+    const Addr pc = 0x80001000;
+    for (int i = 0; i < 64; ++i)
+        trainOnce(tage, pc, true);
+    auto p = tage.predict(pc);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.confident);
+}
+
+TEST(Tage, LearnsLoopPattern)
+{
+    // Pattern TTTN repeated: needs history, not just bias.
+    Tage tage;
+    const Addr pc = 0x80002000;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 4000; ++i) {
+        bool taken = (i % 4) != 3;
+        auto p = tage.predict(pc);
+        tage.pushHistory(taken);
+        if (i > 2000) { // after warmup
+            ++total;
+            if (p.taken == taken)
+                ++correct;
+        }
+        tage.update(p, taken);
+    }
+    // A history-based predictor should nail this pattern.
+    EXPECT_GT(correct * 100, total * 95)
+        << correct << "/" << total;
+}
+
+TEST(Tage, RandomBranchIsUnconfidentOrWrongHalfTheTime)
+{
+    Tage tage;
+    Rng rng(0x7a6e);
+    const Addr pc = 0x80003000;
+    int wrong = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        bool taken = rng.chance(50);
+        if (!trainOnce(tage, pc, taken))
+            ++wrong;
+    }
+    // Cannot beat a coin by much.
+    EXPECT_GT(wrong, n / 3);
+}
+
+TEST(Tage, ManyBranchesInterleaved)
+{
+    // Aliasing stress: 256 branches with distinct fixed behaviours.
+    Tage tage;
+    std::vector<Addr> pcs;
+    for (int i = 0; i < 256; ++i)
+        pcs.push_back(0x80010000 + i * 8);
+    for (int round = 0; round < 60; ++round)
+        for (int i = 0; i < 256; ++i)
+            trainOnce(tage, pcs[i], (i & 1) != 0);
+    int correct = 0;
+    for (int i = 0; i < 256; ++i)
+        if (tage.predict(pcs[i]).taken == ((i & 1) != 0))
+            ++correct;
+    EXPECT_GT(correct, 240);
+}
+
+TEST(Ittage, LearnsMonomorphicTarget)
+{
+    Ittage it;
+    const Addr pc = 0x80004000;
+    for (int i = 0; i < 16; ++i) {
+        auto p = it.predict(pc);
+        it.pushHistory(0x80008888);
+        it.update(p, 0x80008888);
+    }
+    EXPECT_EQ(it.predict(pc).target, 0x80008888u);
+}
+
+TEST(Ittage, LearnsHistoryCorrelatedTargets)
+{
+    // Target alternates with the preceding path: ITTAGE's tagged
+    // tables should beat the last-target base predictor.
+    Ittage it;
+    const Addr pc = 0x80005000;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        Addr filler = 0x80000100 + (i % 2) * 64;
+        it.pushHistory(filler);
+        Addr target = (i % 2) ? 0x80009000 : 0x8000a000;
+        auto p = it.predict(pc);
+        it.pushHistory(target);
+        if (i > 1500) {
+            ++total;
+            if (p.target == target)
+                ++correct;
+        }
+        it.update(p, target);
+    }
+    EXPECT_GT(correct * 100, total * 80) << correct << "/" << total;
+}
+
+TEST(MicroBtb, HitAndMiss)
+{
+    MicroBtb ubtb(32);
+    Addr target;
+    bool taken;
+    EXPECT_FALSE(ubtb.predict(0x80001000, target, taken));
+    ubtb.update(0x80001000, 0x80002000, true);
+    ASSERT_TRUE(ubtb.predict(0x80001000, target, taken));
+    EXPECT_EQ(target, 0x80002000u);
+    EXPECT_TRUE(taken);
+    // Conflicting pc evicts (direct-mapped).
+    ubtb.update(0x80001000 + 32 * 2, 0x80003000, false);
+    EXPECT_FALSE(ubtb.predict(0x80001000, target, taken));
+}
+
+TEST(Btb, AssociativityAvoidsConflicts)
+{
+    Btb btb(64, 4);
+    // Four pcs mapping to the same set coexist.
+    for (int i = 0; i < 4; ++i)
+        btb.update(0x80000000 + i * 16 * 2, 0x90000000 + i);
+    Addr target;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(btb.predict(0x80000000 + i * 16 * 2, target)) << i;
+        EXPECT_EQ(target, 0x90000000u + i);
+    }
+    // A fifth evicts the LRU (the first inserted).
+    btb.update(0x80000000 + 4 * 16 * 2, 0x90000004);
+    EXPECT_FALSE(btb.predict(0x80000000, target));
+    EXPECT_TRUE(btb.predict(0x80000000 + 16 * 2, target));
+}
+
+TEST(Ras, PushPopOrder)
+{
+    Ras ras(4);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0u); // empty
+}
+
+TEST(Ras, OverflowWraps)
+{
+    Ras ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "uarch/tlb.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::uarch;
+
+TEST(TimingTlb, HitAfterInsert)
+{
+    TimingTlb tlb({40, 0, 1});
+    EXPECT_FALSE(tlb.lookup(0x80001));
+    tlb.insert(0x80001);
+    EXPECT_TRUE(tlb.lookup(0x80001));
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TimingTlb, CapacityEvictsLru)
+{
+    TimingTlb tlb({4, 0, 1});
+    for (Addr v = 0; v < 4; ++v)
+        tlb.insert(v);
+    // Touch 1-3 so 0 is LRU.
+    for (Addr v = 1; v < 4; ++v)
+        EXPECT_TRUE(tlb.lookup(v));
+    tlb.insert(100);
+    EXPECT_FALSE(tlb.lookup(0));
+    EXPECT_TRUE(tlb.lookup(100));
+}
+
+TEST(TimingTlb, SetAssociativeIndexing)
+{
+    TimingTlb tlb({8, 4, 2}); // 2 sets x 4 ways
+    // vpns with the same parity collide in one set; 4 fit, 5th evicts.
+    for (Addr v = 0; v < 10; v += 2)
+        tlb.insert(v);
+    EXPECT_FALSE(tlb.lookup(0));
+    EXPECT_TRUE(tlb.lookup(8));
+    // Other set untouched.
+    tlb.insert(1);
+    EXPECT_TRUE(tlb.lookup(1));
+}
+
+TEST(TlbPath, MissEscalatesThroughStlbToWalker)
+{
+    TimingTlb stlb({64, 4, 2});
+    TlbPath path({4, 0, 1}, stlb, 50);
+
+    // Cold: L1 miss + STLB miss + walk.
+    unsigned cold = path.access(0x1000);
+    EXPECT_GE(cold, 50u);
+    // Warm: L1 hit.
+    unsigned warm = path.access(0x1008); // same page
+    EXPECT_EQ(warm, 1u);
+    // After flushing the L1, the STLB still has it: no walk.
+    path.flush();
+    unsigned stlbHit = path.access(0x1000);
+    EXPECT_GT(stlbHit, warm);
+    EXPECT_LT(stlbHit, cold);
+}
+
+TEST(TlbPath, SharedStlbBetweenPaths)
+{
+    TimingTlb stlb({64, 4, 2});
+    TlbPath ipath({4, 0, 1}, stlb, 50);
+    TlbPath dpath({4, 0, 1}, stlb, 50);
+
+    dpath.access(0x2000); // walks, fills STLB
+    unsigned viaI = ipath.access(0x2000);
+    EXPECT_LT(viaI, 50u); // STLB hit, no walk
+}
+
+} // namespace

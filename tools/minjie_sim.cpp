@@ -1,0 +1,268 @@
+/**
+ * @file
+ * minjie-sim: the command-line front door of the platform.
+ *
+ *   minjie-sim --engine nemu --workload coremark --iters 2000
+ *   minjie-sim --engine xiangshan --config nh --workload 458.sjeng \
+ *              --difftest --lightsss 100000
+ *   minjie-sim --list
+ *
+ * Runs one workload on one engine, optionally under DiffTest
+ * co-simulation with LightSSS snapshots, and prints a performance and
+ * verification summary — the single-run analogue of the paper's
+ * "launch the RTL-simulation and the tools are automatically invoked"
+ * workflow (Section III-E).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "difftest/difftest.h"
+#include "iss/interp.h"
+#include "iss/system.h"
+#include "lightsss/lightsss.h"
+#include "nemu/nemu.h"
+#include "workload/programs.h"
+#include "xiangshan/soc.h"
+
+using namespace minjie;
+namespace wl = minjie::workload;
+
+namespace {
+
+struct Options
+{
+    std::string engine = "nemu"; // nemu|spike|dromajo|tci|xiangshan
+    std::string config = "nh";   // nh|yqh|gem5ish (xiangshan only)
+    std::string workload = "coremark";
+    uint64_t iters = 1000;
+    InstCount maxInstrs = 50'000'000;
+    bool difftest = false;
+    Cycle lightsssInterval = 0;
+    uint64_t faultAfter = 0; // inject a load fault (difftest demo)
+};
+
+void
+usage()
+{
+    std::printf(
+        "minjie-sim [options]\n"
+        "  --engine E     nemu|spike|dromajo|tci|xiangshan (default nemu)\n"
+        "  --config C     nh|yqh|gem5ish (xiangshan engine only)\n"
+        "  --workload W   coremark|memstress|sum|sv39|<SPEC proxy name>\n"
+        "  --iters N      workload iterations (default 1000)\n"
+        "  --max-instrs N instruction budget (default 50M)\n"
+        "  --difftest     co-simulate against a NEMU REF (xiangshan)\n"
+        "  --lightsss N   fork a snapshot every N cycles (xiangshan)\n"
+        "  --inject-fault corrupt one load (exercises the checkers)\n"
+        "  --list         list available workloads\n");
+}
+
+wl::Program
+pickWorkload(const Options &opt, bool &ok)
+{
+    ok = true;
+    if (opt.workload == "coremark")
+        return wl::coremarkProxy(opt.iters);
+    if (opt.workload == "memstress")
+        return wl::memStressProgram(opt.iters, 16);
+    if (opt.workload == "sum")
+        return wl::sumProgram(opt.iters);
+    if (opt.workload == "sv39")
+        return wl::sv39Program();
+    for (const auto &s : wl::specIntSuite())
+        if (opt.workload == s.name)
+            return wl::buildProxy(s, opt.iters);
+    for (const auto &s : wl::specFpSuite())
+        if (opt.workload == s.name)
+            return wl::buildProxy(s, opt.iters);
+    ok = false;
+    return {};
+}
+
+int
+runInterpreter(const Options &opt, const wl::Program &prog)
+{
+    iss::System sys(256);
+    prog.loadInto(sys.dram);
+
+    std::unique_ptr<iss::Interp> engine;
+    if (opt.engine == "nemu")
+        engine = std::make_unique<nemu::Nemu>(sys.bus, sys.dram, 0,
+                                              prog.entry);
+    else if (opt.engine == "spike")
+        engine = std::make_unique<iss::SpikeInterp>(sys.bus, 0,
+                                                    prog.entry);
+    else if (opt.engine == "dromajo")
+        engine = std::make_unique<iss::DromajoInterp>(sys.bus, 0,
+                                                      prog.entry);
+    else
+        engine = std::make_unique<iss::TciInterp>(sys.bus, 0, prog.entry);
+    engine->setHaltFn([&] { return sys.simctrl.exited(); });
+
+    Stopwatch sw;
+    iss::RunResult r;
+    if (auto *nemu = dynamic_cast<nemu::Nemu *>(engine.get()))
+        r = nemu->run(opt.maxInstrs);
+    else
+        r = engine->run(opt.maxInstrs);
+    double sec = sw.elapsedSec();
+
+    std::printf("[%s] %llu instructions in %.3fs (%.1f MIPS)%s\n",
+                opt.engine.c_str(),
+                static_cast<unsigned long long>(r.executed), sec,
+                sec > 0 ? r.executed / sec / 1e6 : 0.0,
+                r.halted ? "" : " [budget reached]");
+    if (sys.simctrl.exited())
+        std::printf("workload exit code: %llu\n",
+                    static_cast<unsigned long long>(
+                        sys.simctrl.exitCode()));
+    return 0;
+}
+
+int
+runXiangshan(const Options &opt, const wl::Program &prog)
+{
+    xs::CoreConfig cfg = opt.config == "yqh" ? xs::CoreConfig::yqh()
+                         : opt.config == "gem5ish"
+                             ? xs::CoreConfig::gem5ish()
+                             : xs::CoreConfig::nh();
+    xs::Soc soc(cfg);
+    prog.loadInto(soc.system().dram);
+    soc.setEntry(prog.entry);
+
+    std::unique_ptr<difftest::DiffTest> dt;
+    if (opt.difftest) {
+        dt = std::make_unique<difftest::DiffTest>(soc);
+        for (const auto &seg : prog.segments)
+            dt->loadRefMemory(seg.base, seg.bytes.data(),
+                              seg.bytes.size());
+        dt->resetRefs(prog.entry);
+    }
+    if (opt.faultAfter)
+        soc.core(0).injectLoadFault(0x1000);
+
+    lightsss::LightSSS sss(
+        {opt.lightsssInterval ? opt.lightsssInterval : 1, 2,
+         opt.lightsssInterval != 0});
+
+    Stopwatch sw;
+    Cycle cycle = 0;
+    const Cycle maxCycles = 2'000'000'000;
+    while (cycle < maxCycles &&
+           soc.core(0).perf().instrs < opt.maxInstrs) {
+        if (opt.lightsssInterval) {
+            auto role = sss.tick(cycle);
+            if (role == lightsss::LightSSS::Role::ReplayChild) {
+                Logger::instance().setLevel(LogLevel::Debug);
+                std::printf("[lightsss] replay child running to cycle "
+                            "%llu\n",
+                            static_cast<unsigned long long>(
+                                sss.replayTargetCycle()));
+            }
+        }
+        soc.system().clint.tick();
+        bool allDone = true;
+        for (unsigned c = 0; c < soc.numCores(); ++c) {
+            if (!soc.core(c).done()) {
+                soc.core(c).tick();
+                allDone = false;
+            }
+        }
+        ++cycle;
+        if (dt && !dt->ok()) {
+            std::printf("[difftest] MISMATCH: %s\n",
+                        dt->failures().front().c_str());
+            std::printf("[difftest] last commits:\n");
+            auto trace = dt->recentCommitTrace();
+            size_t start = trace.size() > 8 ? trace.size() - 8 : 0;
+            for (size_t i = start; i < trace.size(); ++i)
+                std::printf("  %s\n", trace[i].c_str());
+            if (opt.lightsssInterval && sss.triggerReplay(cycle))
+                std::printf("[lightsss] debug replay completed\n");
+            return 1;
+        }
+        if (allDone)
+            break;
+    }
+    double sec = sw.elapsedSec();
+    sss.discardAll();
+
+    const auto &p = soc.core(0).perf();
+    std::printf("[xiangshan-%s] %llu instrs, %llu cycles, ipc %.3f "
+                "(%.0f KHz sim speed)\n",
+                cfg.name.c_str(),
+                static_cast<unsigned long long>(p.instrs),
+                static_cast<unsigned long long>(p.cycles), p.ipc(),
+                sec > 0 ? p.cycles / sec / 1e3 : 0.0);
+    std::printf("branches: %llu (mpki %.2f)  fused: %llu  moves "
+                "eliminated: %llu\n",
+                static_cast<unsigned long long>(p.branches), p.mpki(),
+                static_cast<unsigned long long>(p.fusedPairs),
+                static_cast<unsigned long long>(p.movesEliminated));
+    if (dt)
+        std::printf("[difftest] %llu commits checked, PASS\n",
+                    static_cast<unsigned long long>(
+                        dt->stats().commitsChecked));
+    if (soc.system().simctrl.exited())
+        std::printf("workload exit code: %llu\n",
+                    static_cast<unsigned long long>(
+                        soc.system().simctrl.exitCode()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (arg == "--engine")
+            opt.engine = next();
+        else if (arg == "--config")
+            opt.config = next();
+        else if (arg == "--workload")
+            opt.workload = next();
+        else if (arg == "--iters")
+            opt.iters = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--max-instrs")
+            opt.maxInstrs = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--difftest")
+            opt.difftest = true;
+        else if (arg == "--lightsss")
+            opt.lightsssInterval = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--inject-fault")
+            opt.faultAfter = 1;
+        else if (arg == "--list") {
+            std::printf("workloads: coremark memstress sum sv39");
+            for (const auto &s : wl::specIntSuite())
+                std::printf(" %s", s.name);
+            for (const auto &s : wl::specFpSuite())
+                std::printf(" %s", s.name);
+            std::printf("\n");
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    bool ok;
+    auto prog = pickWorkload(opt, ok);
+    if (!ok) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     opt.workload.c_str());
+        return 1;
+    }
+
+    if (opt.engine == "xiangshan")
+        return runXiangshan(opt, prog);
+    return runInterpreter(opt, prog);
+}
