@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_spec_scores.dir/fig12_spec_scores.cpp.o"
+  "CMakeFiles/fig12_spec_scores.dir/fig12_spec_scores.cpp.o.d"
+  "fig12_spec_scores"
+  "fig12_spec_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_spec_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

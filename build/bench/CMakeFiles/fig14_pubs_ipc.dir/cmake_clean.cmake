@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pubs_ipc.dir/fig14_pubs_ipc.cpp.o"
+  "CMakeFiles/fig14_pubs_ipc.dir/fig14_pubs_ipc.cpp.o.d"
+  "fig14_pubs_ipc"
+  "fig14_pubs_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pubs_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

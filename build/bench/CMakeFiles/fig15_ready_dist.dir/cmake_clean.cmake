@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_ready_dist.dir/fig15_ready_dist.cpp.o"
+  "CMakeFiles/fig15_ready_dist.dir/fig15_ready_dist.cpp.o.d"
+  "fig15_ready_dist"
+  "fig15_ready_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_ready_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lightsss_overhead.dir/fig6_lightsss_overhead.cpp.o"
+  "CMakeFiles/fig6_lightsss_overhead.dir/fig6_lightsss_overhead.cpp.o.d"
+  "fig6_lightsss_overhead"
+  "fig6_lightsss_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lightsss_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

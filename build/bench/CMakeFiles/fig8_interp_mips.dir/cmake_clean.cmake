@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_interp_mips.dir/fig8_interp_mips.cpp.o"
+  "CMakeFiles/fig8_interp_mips.dir/fig8_interp_mips.cpp.o.d"
+  "fig8_interp_mips"
+  "fig8_interp_mips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_interp_mips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

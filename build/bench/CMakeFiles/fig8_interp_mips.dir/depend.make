@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_interp_mips.
+# This may be replaced when dependencies are built.

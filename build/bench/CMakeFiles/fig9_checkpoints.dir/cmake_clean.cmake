@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_checkpoints.dir/fig9_checkpoints.cpp.o"
+  "CMakeFiles/fig9_checkpoints.dir/fig9_checkpoints.cpp.o.d"
+  "fig9_checkpoints"
+  "fig9_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl1_snapshot_schemes.dir/tbl1_snapshot_schemes.cpp.o"
+  "CMakeFiles/tbl1_snapshot_schemes.dir/tbl1_snapshot_schemes.cpp.o.d"
+  "tbl1_snapshot_schemes"
+  "tbl1_snapshot_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl1_snapshot_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

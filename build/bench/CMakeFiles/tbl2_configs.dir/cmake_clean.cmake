@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl2_configs.dir/tbl2_configs.cpp.o"
+  "CMakeFiles/tbl2_configs.dir/tbl2_configs.cpp.o.d"
+  "tbl2_configs"
+  "tbl2_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl2_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/checkpoint_flow.cpp" "examples/CMakeFiles/checkpoint_flow.dir/checkpoint_flow.cpp.o" "gcc" "examples/CMakeFiles/checkpoint_flow.dir/checkpoint_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mj_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemu/CMakeFiles/mj_nemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mj_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/xiangshan/CMakeFiles/mj_xiangshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/difftest/CMakeFiles/mj_difftest.dir/DependInfo.cmake"
+  "/root/repo/build/src/lightsss/CMakeFiles/mj_lightsss.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/mj_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/archdb/CMakeFiles/mj_archdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

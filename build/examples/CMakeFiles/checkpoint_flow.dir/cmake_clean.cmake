@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_flow.dir/checkpoint_flow.cpp.o"
+  "CMakeFiles/checkpoint_flow.dir/checkpoint_flow.cpp.o.d"
+  "checkpoint_flow"
+  "checkpoint_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftest_demo.dir/difftest_demo.cpp.o"
+  "CMakeFiles/difftest_demo.dir/difftest_demo.cpp.o.d"
+  "difftest_demo"
+  "difftest_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftest_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_difftest.dir/multicore_difftest.cpp.o"
+  "CMakeFiles/multicore_difftest.dir/multicore_difftest.cpp.o.d"
+  "multicore_difftest"
+  "multicore_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

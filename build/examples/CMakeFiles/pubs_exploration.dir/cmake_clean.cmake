@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubs_exploration.dir/pubs_exploration.cpp.o"
+  "CMakeFiles/pubs_exploration.dir/pubs_exploration.cpp.o.d"
+  "pubs_exploration"
+  "pubs_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubs_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("fp")
+subdirs("mem")
+subdirs("iss")
+subdirs("workload")
+subdirs("nemu")
+subdirs("archdb")
+subdirs("uarch")
+subdirs("xiangshan")
+subdirs("difftest")
+subdirs("lightsss")
+subdirs("checkpoint")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_archdb.dir/archdb.cpp.o"
+  "CMakeFiles/mj_archdb.dir/archdb.cpp.o.d"
+  "libmj_archdb.a"
+  "libmj_archdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_archdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

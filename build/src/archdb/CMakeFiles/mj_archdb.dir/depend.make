@@ -1,0 +1,2 @@
+# Empty dependencies file for mj_archdb.
+# This may be replaced when dependencies are built.

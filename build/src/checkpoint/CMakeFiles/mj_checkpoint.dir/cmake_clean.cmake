@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_checkpoint.dir/checkpoint.cpp.o"
+  "CMakeFiles/mj_checkpoint.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/mj_checkpoint.dir/generator.cpp.o"
+  "CMakeFiles/mj_checkpoint.dir/generator.cpp.o.d"
+  "CMakeFiles/mj_checkpoint.dir/simpoint.cpp.o"
+  "CMakeFiles/mj_checkpoint.dir/simpoint.cpp.o.d"
+  "libmj_checkpoint.a"
+  "libmj_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_common.dir/clock.cpp.o"
+  "CMakeFiles/mj_common.dir/clock.cpp.o.d"
+  "CMakeFiles/mj_common.dir/log.cpp.o"
+  "CMakeFiles/mj_common.dir/log.cpp.o.d"
+  "libmj_common.a"
+  "libmj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

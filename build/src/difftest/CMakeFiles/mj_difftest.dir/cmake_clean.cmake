@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_difftest.dir/csr_rules.cpp.o"
+  "CMakeFiles/mj_difftest.dir/csr_rules.cpp.o.d"
+  "CMakeFiles/mj_difftest.dir/difftest.cpp.o"
+  "CMakeFiles/mj_difftest.dir/difftest.cpp.o.d"
+  "CMakeFiles/mj_difftest.dir/scoreboard.cpp.o"
+  "CMakeFiles/mj_difftest.dir/scoreboard.cpp.o.d"
+  "libmj_difftest.a"
+  "libmj_difftest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_difftest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

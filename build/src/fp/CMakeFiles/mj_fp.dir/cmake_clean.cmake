@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_fp.dir/ops.cpp.o"
+  "CMakeFiles/mj_fp.dir/ops.cpp.o.d"
+  "CMakeFiles/mj_fp.dir/softfloat.cpp.o"
+  "CMakeFiles/mj_fp.dir/softfloat.cpp.o.d"
+  "libmj_fp.a"
+  "libmj_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_isa.dir/decode.cpp.o"
+  "CMakeFiles/mj_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/mj_isa.dir/disasm.cpp.o"
+  "CMakeFiles/mj_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/mj_isa.dir/encode.cpp.o"
+  "CMakeFiles/mj_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/mj_isa.dir/op.cpp.o"
+  "CMakeFiles/mj_isa.dir/op.cpp.o.d"
+  "libmj_isa.a"
+  "libmj_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iss/arch_state.cpp" "src/iss/CMakeFiles/mj_iss.dir/arch_state.cpp.o" "gcc" "src/iss/CMakeFiles/mj_iss.dir/arch_state.cpp.o.d"
+  "/root/repo/src/iss/csrfile.cpp" "src/iss/CMakeFiles/mj_iss.dir/csrfile.cpp.o" "gcc" "src/iss/CMakeFiles/mj_iss.dir/csrfile.cpp.o.d"
+  "/root/repo/src/iss/exec.cpp" "src/iss/CMakeFiles/mj_iss.dir/exec.cpp.o" "gcc" "src/iss/CMakeFiles/mj_iss.dir/exec.cpp.o.d"
+  "/root/repo/src/iss/interp.cpp" "src/iss/CMakeFiles/mj_iss.dir/interp.cpp.o" "gcc" "src/iss/CMakeFiles/mj_iss.dir/interp.cpp.o.d"
+  "/root/repo/src/iss/mmu.cpp" "src/iss/CMakeFiles/mj_iss.dir/mmu.cpp.o" "gcc" "src/iss/CMakeFiles/mj_iss.dir/mmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

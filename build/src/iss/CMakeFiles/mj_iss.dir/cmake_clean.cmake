@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_iss.dir/arch_state.cpp.o"
+  "CMakeFiles/mj_iss.dir/arch_state.cpp.o.d"
+  "CMakeFiles/mj_iss.dir/csrfile.cpp.o"
+  "CMakeFiles/mj_iss.dir/csrfile.cpp.o.d"
+  "CMakeFiles/mj_iss.dir/exec.cpp.o"
+  "CMakeFiles/mj_iss.dir/exec.cpp.o.d"
+  "CMakeFiles/mj_iss.dir/interp.cpp.o"
+  "CMakeFiles/mj_iss.dir/interp.cpp.o.d"
+  "CMakeFiles/mj_iss.dir/mmu.cpp.o"
+  "CMakeFiles/mj_iss.dir/mmu.cpp.o.d"
+  "libmj_iss.a"
+  "libmj_iss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_iss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

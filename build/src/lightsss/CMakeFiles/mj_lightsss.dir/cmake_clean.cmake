@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_lightsss.dir/lightsss.cpp.o"
+  "CMakeFiles/mj_lightsss.dir/lightsss.cpp.o.d"
+  "libmj_lightsss.a"
+  "libmj_lightsss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_lightsss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

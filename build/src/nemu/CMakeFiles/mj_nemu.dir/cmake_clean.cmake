@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_nemu.dir/nemu.cpp.o"
+  "CMakeFiles/mj_nemu.dir/nemu.cpp.o.d"
+  "libmj_nemu.a"
+  "libmj_nemu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_nemu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

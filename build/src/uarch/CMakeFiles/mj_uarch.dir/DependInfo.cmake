@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/mj_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/mj_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/hierarchy.cpp" "src/uarch/CMakeFiles/mj_uarch.dir/hierarchy.cpp.o" "gcc" "src/uarch/CMakeFiles/mj_uarch.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/uarch/predictors.cpp" "src/uarch/CMakeFiles/mj_uarch.dir/predictors.cpp.o" "gcc" "src/uarch/CMakeFiles/mj_uarch.dir/predictors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

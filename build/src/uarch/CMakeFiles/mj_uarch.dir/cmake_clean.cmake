@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_uarch.dir/cache.cpp.o"
+  "CMakeFiles/mj_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/mj_uarch.dir/hierarchy.cpp.o"
+  "CMakeFiles/mj_uarch.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mj_uarch.dir/predictors.cpp.o"
+  "CMakeFiles/mj_uarch.dir/predictors.cpp.o.d"
+  "libmj_uarch.a"
+  "libmj_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_workload.dir/programs.cpp.o"
+  "CMakeFiles/mj_workload.dir/programs.cpp.o.d"
+  "libmj_workload.a"
+  "libmj_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmj_workload.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xiangshan/config.cpp" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/config.cpp.o" "gcc" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/config.cpp.o.d"
+  "/root/repo/src/xiangshan/core.cpp" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/core.cpp.o" "gcc" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/core.cpp.o.d"
+  "/root/repo/src/xiangshan/soc.cpp" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/soc.cpp.o" "gcc" "src/xiangshan/CMakeFiles/mj_xiangshan.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iss/CMakeFiles/mj_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mj_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

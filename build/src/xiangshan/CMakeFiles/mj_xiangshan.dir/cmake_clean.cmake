@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mj_xiangshan.dir/config.cpp.o"
+  "CMakeFiles/mj_xiangshan.dir/config.cpp.o.d"
+  "CMakeFiles/mj_xiangshan.dir/core.cpp.o"
+  "CMakeFiles/mj_xiangshan.dir/core.cpp.o.d"
+  "CMakeFiles/mj_xiangshan.dir/soc.cpp.o"
+  "CMakeFiles/mj_xiangshan.dir/soc.cpp.o.d"
+  "libmj_xiangshan.a"
+  "libmj_xiangshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mj_xiangshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

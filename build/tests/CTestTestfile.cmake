@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("isa")
+subdirs("mem")
+subdirs("fp")
+subdirs("iss")
+subdirs("nemu")
+subdirs("uarch")
+subdirs("xiangshan")
+subdirs("difftest")
+subdirs("lightsss")
+subdirs("checkpoint")
+subdirs("archdb")
+subdirs("workload")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archdb_test.dir/archdb_test.cpp.o"
+  "CMakeFiles/archdb_test.dir/archdb_test.cpp.o.d"
+  "archdb_test"
+  "archdb_test.pdb"
+  "archdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

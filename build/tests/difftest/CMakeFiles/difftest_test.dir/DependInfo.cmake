@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/difftest/csr_rules_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/csr_rules_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/csr_rules_test.cpp.o.d"
+  "/root/repo/tests/difftest/difftest_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/difftest_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/difftest_test.cpp.o.d"
+  "/root/repo/tests/difftest/global_memory_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/global_memory_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/global_memory_test.cpp.o.d"
+  "/root/repo/tests/difftest/interrupt_rule_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/interrupt_rule_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/interrupt_rule_test.cpp.o.d"
+  "/root/repo/tests/difftest/pagefault_rule_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/pagefault_rule_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/pagefault_rule_test.cpp.o.d"
+  "/root/repo/tests/difftest/scoreboard_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/scoreboard_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/scoreboard_test.cpp.o.d"
+  "/root/repo/tests/difftest/sv39_difftest_test.cpp" "tests/difftest/CMakeFiles/difftest_test.dir/sv39_difftest_test.cpp.o" "gcc" "tests/difftest/CMakeFiles/difftest_test.dir/sv39_difftest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mj_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemu/CMakeFiles/mj_nemu.dir/DependInfo.cmake"
+  "/root/repo/build/src/difftest/CMakeFiles/mj_difftest.dir/DependInfo.cmake"
+  "/root/repo/build/src/xiangshan/CMakeFiles/mj_xiangshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/mj_uarch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

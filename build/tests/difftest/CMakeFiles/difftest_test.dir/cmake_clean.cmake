@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/difftest_test.dir/csr_rules_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/csr_rules_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/difftest_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/difftest_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/global_memory_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/global_memory_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/interrupt_rule_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/interrupt_rule_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/pagefault_rule_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/pagefault_rule_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/scoreboard_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/scoreboard_test.cpp.o.d"
+  "CMakeFiles/difftest_test.dir/sv39_difftest_test.cpp.o"
+  "CMakeFiles/difftest_test.dir/sv39_difftest_test.cpp.o.d"
+  "difftest_test"
+  "difftest_test.pdb"
+  "difftest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/difftest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_test.dir/ops_test.cpp.o"
+  "CMakeFiles/fp_test.dir/ops_test.cpp.o.d"
+  "CMakeFiles/fp_test.dir/softfloat_test.cpp.o"
+  "CMakeFiles/fp_test.dir/softfloat_test.cpp.o.d"
+  "fp_test"
+  "fp_test.pdb"
+  "fp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

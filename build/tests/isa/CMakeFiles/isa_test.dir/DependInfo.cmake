@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/compressed_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/compressed_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/compressed_test.cpp.o.d"
+  "/root/repo/tests/isa/decode_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/decode_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/decode_test.cpp.o.d"
+  "/root/repo/tests/isa/encode_roundtrip_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/encode_roundtrip_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/encode_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/isa/op_meta_test.cpp" "tests/isa/CMakeFiles/isa_test.dir/op_meta_test.cpp.o" "gcc" "tests/isa/CMakeFiles/isa_test.dir/op_meta_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mj_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemu/CMakeFiles/mj_nemu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

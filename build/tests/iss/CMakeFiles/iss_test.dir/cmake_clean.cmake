@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iss_test.dir/csr_test.cpp.o"
+  "CMakeFiles/iss_test.dir/csr_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/exec_test.cpp.o"
+  "CMakeFiles/iss_test.dir/exec_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/fuzz_cosim_test.cpp.o"
+  "CMakeFiles/iss_test.dir/fuzz_cosim_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/interp_test.cpp.o"
+  "CMakeFiles/iss_test.dir/interp_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/mmu_test.cpp.o"
+  "CMakeFiles/iss_test.dir/mmu_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/priv_test.cpp.o"
+  "CMakeFiles/iss_test.dir/priv_test.cpp.o.d"
+  "CMakeFiles/iss_test.dir/smc_test.cpp.o"
+  "CMakeFiles/iss_test.dir/smc_test.cpp.o.d"
+  "iss_test"
+  "iss_test.pdb"
+  "iss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

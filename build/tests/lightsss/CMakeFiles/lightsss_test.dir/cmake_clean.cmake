@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightsss_test.dir/lightsss_test.cpp.o"
+  "CMakeFiles/lightsss_test.dir/lightsss_test.cpp.o.d"
+  "lightsss_test"
+  "lightsss_test.pdb"
+  "lightsss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightsss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

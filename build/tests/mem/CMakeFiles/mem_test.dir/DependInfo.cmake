@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem/bus_device_test.cpp" "tests/mem/CMakeFiles/mem_test.dir/bus_device_test.cpp.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/bus_device_test.cpp.o.d"
+  "/root/repo/tests/mem/common_test.cpp" "tests/mem/CMakeFiles/mem_test.dir/common_test.cpp.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/common_test.cpp.o.d"
+  "/root/repo/tests/mem/physmem_test.cpp" "tests/mem/CMakeFiles/mem_test.dir/physmem_test.cpp.o" "gcc" "tests/mem/CMakeFiles/mem_test.dir/physmem_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mj_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mj_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/iss/CMakeFiles/mj_iss.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mj_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nemu/CMakeFiles/mj_nemu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemu_test.dir/nemu_test.cpp.o"
+  "CMakeFiles/nemu_test.dir/nemu_test.cpp.o.d"
+  "CMakeFiles/nemu_test.dir/uopcache_test.cpp.o"
+  "CMakeFiles/nemu_test.dir/uopcache_test.cpp.o.d"
+  "nemu_test"
+  "nemu_test.pdb"
+  "nemu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

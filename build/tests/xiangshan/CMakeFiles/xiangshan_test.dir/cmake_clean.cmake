@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xiangshan_test.dir/config_test.cpp.o"
+  "CMakeFiles/xiangshan_test.dir/config_test.cpp.o.d"
+  "CMakeFiles/xiangshan_test.dir/core_test.cpp.o"
+  "CMakeFiles/xiangshan_test.dir/core_test.cpp.o.d"
+  "xiangshan_test"
+  "xiangshan_test.pdb"
+  "xiangshan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xiangshan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minjie-sim.dir/minjie_sim.cpp.o"
+  "CMakeFiles/minjie-sim.dir/minjie_sim.cpp.o.d"
+  "minjie-sim"
+  "minjie-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minjie-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
