@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regression corpus: minimized failures persisted as replayable text
+ * files. A corpus entry records the engine pair, the divergence
+ * signature it once reproduced, and the full shrinkable program; ctest
+ * replays every entry on each build so a fixed bug stays fixed.
+ */
+
+#ifndef MINJIE_CAMPAIGN_CORPUS_H
+#define MINJIE_CAMPAIGN_CORPUS_H
+
+#include <string>
+#include <vector>
+
+#include "campaign/lockstep.h"
+#include "workload/shrinkable.h"
+
+namespace minjie::campaign {
+
+/** One corpus file: header metadata plus the embedded program. */
+struct CorpusEntry
+{
+    uint64_t seed = 0;          ///< campaign seed that found the failure
+    Engine engineA = Engine::Spike;
+    Engine engineB = Engine::Dromajo;
+    std::string signature;      ///< divergence this entry reproduced
+    std::string note;           ///< free-form provenance
+    workload::ShrinkableProgram program;
+
+    std::string serialize() const;
+    static bool deserialize(const std::string &text, CorpusEntry &out);
+
+    /** Filesystem-safe default file name (signature + seed). */
+    std::string fileName() const;
+};
+
+/** Write @p entry under @p dir; returns the path ("" on failure). */
+std::string writeCorpusFile(const std::string &dir,
+                            const CorpusEntry &entry);
+
+/** Load one corpus file; returns false on IO/parse failure. */
+bool readCorpusFile(const std::string &path, CorpusEntry &out);
+
+/** All *.mjc files under @p dir (sorted; empty when dir is missing). */
+std::vector<std::string> listCorpusFiles(const std::string &dir);
+
+} // namespace minjie::campaign
+
+#endif // MINJIE_CAMPAIGN_CORPUS_H

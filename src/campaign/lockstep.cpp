@@ -1,0 +1,235 @@
+#include "campaign/lockstep.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "iss/interp.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+
+namespace minjie::campaign {
+
+using namespace minjie::iss;
+
+const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Spike: return "spike";
+      case Engine::Dromajo: return "dromajo";
+      case Engine::Tci: return "tci";
+      case Engine::Nemu: return "nemu";
+    }
+    return "?";
+}
+
+bool
+parseEngine(const std::string &name, Engine &out)
+{
+    if (name == "spike")
+        out = Engine::Spike;
+    else if (name == "dromajo")
+        out = Engine::Dromajo;
+    else if (name == "tci")
+        out = Engine::Tci;
+    else if (name == "nemu")
+        out = Engine::Nemu;
+    else
+        return false;
+    return true;
+}
+
+namespace {
+
+/** One engine with its private system (DRAM, bus, devices). */
+struct EngineBox
+{
+    System sys{32};
+    std::unique_ptr<Interp> interp;
+};
+
+std::unique_ptr<EngineBox>
+makeEngine(Engine kind, const workload::Program &prog)
+{
+    auto box = std::make_unique<EngineBox>();
+    prog.loadInto(box->sys.dram);
+    switch (kind) {
+      case Engine::Spike:
+        box->interp =
+            std::make_unique<SpikeInterp>(box->sys.bus, 0, prog.entry);
+        break;
+      case Engine::Dromajo:
+        box->interp =
+            std::make_unique<DromajoInterp>(box->sys.bus, 0, prog.entry);
+        break;
+      case Engine::Tci:
+        box->interp =
+            std::make_unique<TciInterp>(box->sys.bus, 0, prog.entry);
+        break;
+      case Engine::Nemu:
+        box->interp = std::make_unique<nemu::Nemu>(
+            box->sys.bus, box->sys.dram, 0, prog.entry);
+        break;
+    }
+    return box;
+}
+
+/** Post-step corruption of the injected side's destination register. */
+void
+applyBug(const BugInject &bug, ArchState &st, const isa::DecodedInst &di)
+{
+    if (di.op != bug.op || di.rd == 0)
+        return;
+    if (isa::writesFpRd(di.op)) {
+        st.f[di.rd] ^= bug.xorMask;
+        return;
+    }
+    if (isa::isStore(di.op) || isa::isCondBranch(di.op))
+        return;
+    st.setX(di.rd, st.x[di.rd] ^ bug.xorMask);
+}
+
+/** Compare every loaded segment's memory image across the two systems. */
+bool
+compareMemory(EngineBox &a, EngineBox &b, const workload::Program &prog,
+              Divergence &div)
+{
+    for (const auto &seg : prog.segments) {
+        for (size_t i = 0; i < seg.bytes.size(); ++i) {
+            uint64_t va = 0, vb = 0;
+            a.sys.dram.read(seg.base + i, 1, va);
+            b.sys.dram.read(seg.base + i, 1, vb);
+            if (va != vb) {
+                div.kind = Divergence::Kind::Memory;
+                div.reg = static_cast<unsigned>(i);
+                div.pc = seg.base + i; // diverging address, not a pc
+                div.valA = va;
+                div.valB = vb;
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Divergence::signature() const
+{
+    const char *kindName = "none";
+    switch (kind) {
+      case Kind::XReg: kindName = "xreg"; break;
+      case Kind::FReg: kindName = "freg"; break;
+      case Kind::Fflags: kindName = "fflags"; break;
+      case Kind::Pc: kindName = "pc"; break;
+      case Kind::Memory: kindName = "mem"; break;
+      case Kind::Timeout: kindName = "timeout"; break;
+      case Kind::None: break;
+    }
+    if (kind == Kind::Memory || kind == Kind::Timeout ||
+        kind == Kind::None)
+        return kindName;
+    return std::string(kindName) + ":" + isa::opClassName(op) + ":" +
+           isa::opName(op);
+}
+
+std::string
+Divergence::describe() const
+{
+    if (!diverged())
+        return "no divergence";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s at step %llu pc 0x%llx (%s) reg %u: A=0x%llx"
+                  " B=0x%llx",
+                  signature().c_str(),
+                  static_cast<unsigned long long>(step),
+                  static_cast<unsigned long long>(pc), isa::opName(op),
+                  reg, static_cast<unsigned long long>(valA),
+                  static_cast<unsigned long long>(valB));
+    return buf;
+}
+
+LockstepResult
+runLockstep(Engine a, Engine b, const workload::Program &prog,
+            uint64_t maxSteps, const BugInject *bug)
+{
+    auto ea = makeEngine(a, prog);
+    auto eb = makeEngine(b, prog);
+    LockstepResult res;
+
+    for (uint64_t step = 0; step < maxSteps; ++step) {
+        if (ea->sys.simctrl.exited() && eb->sys.simctrl.exited()) {
+            res.exited = true;
+            res.div.step = step;
+            compareMemory(*ea, *eb, prog, res.div);
+            return res;
+        }
+
+        ArchState &sa = ea->interp->state();
+        ArchState &sb = eb->interp->state();
+        Addr pc = sa.pc;
+        uint64_t raw = 0;
+        ea->sys.dram.read(pc, 4, raw);
+        isa::DecodedInst di = isa::decode(static_cast<uint32_t>(raw));
+
+        isa::Trap ta = ea->interp->step();
+        isa::Trap tb = eb->interp->step();
+        ++res.steps;
+
+        if (bug && bug->enabled &&
+            !(bug->side == 0 ? ta : tb).pending())
+            applyBug(*bug, bug->side == 0 ? sa : sb, di);
+
+        Divergence &d = res.div;
+        d.step = step;
+        d.pc = pc;
+        d.op = di.op;
+        if (sa.pc != sb.pc) {
+            d.kind = Divergence::Kind::Pc;
+            d.valA = sa.pc;
+            d.valB = sb.pc;
+            return res;
+        }
+        if (std::memcmp(sa.x, sb.x, sizeof(sa.x)) != 0) {
+            d.kind = Divergence::Kind::XReg;
+            for (unsigned r = 0; r < 32; ++r) {
+                if (sa.x[r] != sb.x[r]) {
+                    d.reg = r;
+                    d.valA = sa.x[r];
+                    d.valB = sb.x[r];
+                    break;
+                }
+            }
+            return res;
+        }
+        if (std::memcmp(sa.f, sb.f, sizeof(sa.f)) != 0) {
+            d.kind = Divergence::Kind::FReg;
+            for (unsigned r = 0; r < 32; ++r) {
+                if (sa.f[r] != sb.f[r]) {
+                    d.reg = r;
+                    d.valA = sa.f[r];
+                    d.valB = sb.f[r];
+                    break;
+                }
+            }
+            return res;
+        }
+        if (sa.csr.fflags != sb.csr.fflags) {
+            d.kind = Divergence::Kind::Fflags;
+            d.valA = sa.csr.fflags;
+            d.valB = sb.csr.fflags;
+            return res;
+        }
+    }
+
+    res.div.kind = Divergence::Kind::Timeout;
+    res.div.step = res.steps;
+    return res;
+}
+
+} // namespace minjie::campaign

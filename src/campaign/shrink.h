@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Failure shrinker: delta-debugs a failing random program down to a
+ * minimal chunk list that still reproduces the same divergence
+ * signature. The campaign promotes shrunk failures into the regression
+ * corpus, turning every random-found bug into a small standing test.
+ */
+
+#ifndef MINJIE_CAMPAIGN_SHRINK_H
+#define MINJIE_CAMPAIGN_SHRINK_H
+
+#include <functional>
+#include <string>
+
+#include "workload/shrinkable.h"
+
+namespace minjie::campaign {
+
+/**
+ * Oracle evaluated on candidate programs: returns the divergence
+ * signature the candidate produces, or an empty string when it runs
+ * clean. Shrinking preserves the original signature, not just "fails".
+ */
+using SignatureFn =
+    std::function<std::string(const workload::Program &)>;
+
+/** Outcome of a shrink run. */
+struct ShrinkResult
+{
+    workload::ShrinkableProgram program; ///< minimized program
+    unsigned evals = 0;    ///< oracle invocations spent
+    bool converged = false; ///< no single chunk can be removed anymore
+};
+
+/**
+ * ddmin over the chunk list of @p orig: repeatedly remove chunk
+ * subsets, keeping any candidate whose signature still equals
+ * @p wantSig, until no single chunk can be removed or @p maxEvals
+ * oracle calls have been spent.
+ */
+ShrinkResult shrinkProgram(const workload::ShrinkableProgram &orig,
+                           const std::string &wantSig,
+                           const SignatureFn &sig,
+                           unsigned maxEvals = 600);
+
+} // namespace minjie::campaign
+
+#endif // MINJIE_CAMPAIGN_SHRINK_H

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable reports (campaign metrics,
+ * divergence records). No external dependencies; emits compact JSON
+ * with correct string escaping and comma placement.
+ */
+
+#ifndef MINJIE_COMMON_JSONW_H
+#define MINJIE_COMMON_JSONW_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace minjie {
+
+/**
+ * Streaming JSON writer. Usage:
+ *
+ *   JsonWriter jw;
+ *   jw.beginObject();
+ *   jw.key("jobs").value(42);
+ *   jw.key("buckets").beginArray();
+ *   ...
+ *   jw.endArray();
+ *   jw.endObject();
+ *   std::string text = jw.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        sep();
+        out_ += '{';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        out_ += '}';
+        stack_.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        sep();
+        out_ += '[';
+        stack_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        out_ += ']';
+        stack_.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &name)
+    {
+        sep();
+        quote(name);
+        out_ += ':';
+        pendingKey_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        sep();
+        quote(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        sep();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &value(int v) { return value(static_cast<uint64_t>(v)); }
+    JsonWriter &value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        sep();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        sep();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+
+    /** Hex-formatted integer rendered as a JSON string ("0x..."). */
+    JsonWriter &
+    hex(uint64_t v)
+    {
+        sep();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "\"0x%llx\"",
+                      static_cast<unsigned long long>(v));
+        out_ += buf;
+        return *this;
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    /** Emit a separating comma when needed and mark the container used. */
+    void
+    sep()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            if (stack_.back())
+                out_ += ',';
+            stack_.back() = true;
+        }
+    }
+
+    void
+    quote(const std::string &s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\t': out_ += "\\t"; break;
+              case '\r': out_ += "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> stack_; ///< per-container "has emitted an element"
+    bool pendingKey_ = false;
+};
+
+} // namespace minjie
+
+#endif // MINJIE_COMMON_JSONW_H

@@ -59,6 +59,47 @@ DiffTest::fail(HartId hart, const std::string &why)
 }
 
 void
+DiffTest::report(DivergenceReport::Kind kind, HartId hart,
+                 const CommitProbe &probe, const char *rule, unsigned reg,
+                 uint64_t dutVal, uint64_t refVal)
+{
+    if (div_.valid)
+        return; // keep the first divergence only
+    div_.valid = true;
+    div_.kind = kind;
+    div_.hart = hart;
+    div_.pc = probe.pc;
+    div_.inst = probe.inst;
+    div_.reg = reg;
+    div_.dutVal = dutVal;
+    div_.refVal = refVal;
+    div_.rule = rule;
+}
+
+std::string
+DivergenceReport::signature() const
+{
+    if (!valid)
+        return "none";
+    const char *kindName = "none";
+    switch (kind) {
+      case Kind::Pc: kindName = "pc"; break;
+      case Kind::Trap: kindName = "trap"; break;
+      case Kind::Rd: kindName = "rd"; break;
+      case Kind::FpRd: kindName = "fprd"; break;
+      case Kind::Csr: kindName = "csr"; break;
+      case Kind::Rule: kindName = "rule"; break;
+      case Kind::None: break;
+    }
+    auto di = decode(inst);
+    std::string sig = std::string(kindName) + ":" + opClassName(di.op) +
+                      ":" + opName(di.op);
+    if (!rule.empty())
+        sig += ":" + rule;
+    return sig;
+}
+
+void
 DiffTest::onStore(const StoreProbe &probe)
 {
     // Drain-time stores are counted but the Global Memory content is
@@ -87,6 +128,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
                       "pc divergence: dut commits 0x%llx, ref at 0x%llx",
                       static_cast<unsigned long long>(probe.pc),
                       static_cast<unsigned long long>(refSt.pc));
+        report(DivergenceReport::Kind::Pc, hart, probe, "pc-check", 0,
+               probe.pc, refSt.pc);
         fail(hart, buf);
         return;
     }
@@ -94,6 +137,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
     // ---- diff-rule: MMIO accesses are trusted from the DUT ----
     if (probe.skip) {
         if (!rules_.skipMmio) {
+            report(DivergenceReport::Kind::Rule, hart, probe,
+                   "mmio-skip-disabled");
             fail(hart, "mmio access with skip rule disabled");
             return;
         }
@@ -114,6 +159,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
     // ---- diff-rule: forced asynchronous interrupt ----
     if (probe.interrupt) {
         if (!rules_.forcedInterrupt) {
+            report(DivergenceReport::Kind::Rule, hart, probe,
+                   "interrupt-rule-disabled");
             fail(hart, "interrupt with forced-interrupt rule disabled");
             return;
         }
@@ -136,6 +183,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
                           " (suspected livelock / real bug)",
                           count,
                           static_cast<unsigned long long>(probe.pc));
+            report(DivergenceReport::Kind::Rule, hart, probe,
+                   "page-fault-livelock");
             fail(hart, buf);
             return;
         }
@@ -157,6 +206,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
         if (rules_.scFailure) {
             unsigned &count = forcedAtPc_[probe.pc];
             if (++count > rules_.maxForcedPerPc * 4) {
+                report(DivergenceReport::Kind::Rule, hart, probe,
+                       "sc-failure-livelock");
                 fail(hart, "sc-failure rule repeated excessively");
                 return;
             }
@@ -181,6 +232,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
                       static_cast<unsigned long long>(probe.trapCause),
                       t.pending() ? "trap" : "no-trap",
                       static_cast<unsigned long long>(t.cause));
+        report(DivergenceReport::Kind::Trap, hart, probe, "trap-check",
+               0, probe.trapCause, static_cast<uint64_t>(t.cause));
         fail(hart, buf);
         return;
     }
@@ -219,6 +272,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
             }
         }
         if (!patched) {
+            report(DivergenceReport::Kind::Rd, hart, probe, "rd-check",
+                   probe.rd, probe.rdValue, refSt.x[probe.rd]);
             auto di = decode(probe.inst);
             std::snprintf(
                 buf, sizeof(buf),
@@ -233,6 +288,8 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
         }
     }
     if (probe.fpWritten && refSt.f[probe.rd] != probe.rdValue) {
+        report(DivergenceReport::Kind::FpRd, hart, probe, "fprd-check",
+               probe.rd, probe.rdValue, refSt.f[probe.rd]);
         std::snprintf(buf, sizeof(buf),
                       "fp rd mismatch at pc 0x%llx: f%u dut=0x%llx"
                       " ref=0x%llx",
@@ -258,8 +315,11 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
         std::vector<std::string> violations;
         isa::Priv priv = refSt.priv;
         if (!checkCsrs(dutCsr, refSt.csr, priv, violations)) {
-            for (const auto &v : violations)
+            for (const auto &v : violations) {
+                report(DivergenceReport::Kind::Csr, hart, probe,
+                       "csr-rule");
                 fail(hart, v);
+            }
         }
     }
 }

@@ -55,6 +55,32 @@ struct RuleConfig
     unsigned maxForcedPerPc = 8; ///< repeat guard (Section III-B2c)
 };
 
+/**
+ * Machine-readable record of the first divergence. Campaign tooling
+ * buckets failures by signature() instead of parsing the log text.
+ */
+struct DivergenceReport
+{
+    enum class Kind { None, Pc, Trap, Rd, FpRd, Csr, Rule };
+
+    bool valid = false;
+    Kind kind = Kind::None;
+    HartId hart = 0;
+    Addr pc = 0;
+    uint32_t inst = 0;   ///< raw encoding at the diverging commit
+    unsigned reg = 0;    ///< diverging x/f register (Rd/FpRd kinds)
+    uint64_t dutVal = 0;
+    uint64_t refVal = 0;
+    std::string rule;    ///< checker or diff-rule that flagged it
+
+    /**
+     * Stable bucket key: kind, opcode class and mnemonic (the pc and
+     * raw values stay out of the key so the same logical bug groups
+     * across different random programs; they remain in the record).
+     */
+    std::string signature() const;
+};
+
 /** Counters of rule applications (visible in reports and tests). */
 struct DiffStats
 {
@@ -92,6 +118,9 @@ class DiffTest
     const std::vector<std::string> &failures() const { return failures_; }
 
     const DiffStats &stats() const { return stats_; }
+
+    /** First divergence in structured form (valid once !ok()). */
+    const DivergenceReport &divergence() const { return div_; }
     const PermissionScoreboard &scoreboard() const { return scoreboard_; }
 
     /** Callback invoked on the first mismatch (LightSSS hooks here). */
@@ -124,6 +153,11 @@ class DiffTest
     void onStore(const StoreProbe &probe);
     void fail(HartId hart, const std::string &why);
 
+    /** Record the structured report for the first failure only. */
+    void report(DivergenceReport::Kind kind, HartId hart,
+                const CommitProbe &probe, const char *rule,
+                unsigned reg = 0, uint64_t dutVal = 0, uint64_t refVal = 0);
+
     xs::Soc &dut_;
     RuleConfig rules_;
     std::vector<std::unique_ptr<iss::System>> refSys_;
@@ -131,6 +165,7 @@ class DiffTest
     GlobalMemory globalMem_;
     PermissionScoreboard scoreboard_;
     DiffStats stats_;
+    DivergenceReport div_;
     std::vector<std::string> failures_;
     std::function<void(const std::string &)> onMismatch_;
     std::unordered_map<Addr, unsigned> forcedAtPc_;

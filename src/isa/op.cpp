@@ -322,4 +322,29 @@ hasRs3(Op op)
     }
 }
 
+const char *
+opClassName(Op op)
+{
+    if (op == Op::Illegal)
+        return "illegal";
+    if (isAmo(op) || isLr(op) || isSc(op))
+        return "amo";
+    if (isFp(op))
+        return "fp";
+    if (isLoad(op))
+        return "load";
+    if (isStore(op))
+        return "store";
+    if (isCondBranch(op))
+        return "branch";
+    if (isJump(op))
+        return "jump";
+    if (isCsr(op) || isSystem(op))
+        return "sys";
+    if (isFence(op))
+        return "fence";
+    return "alu";
+}
+
 } // namespace minjie::isa
+

@@ -98,6 +98,12 @@ enum class FuType : uint8_t {
 /** Human-readable mnemonic for @p op. */
 const char *opName(Op op);
 
+/**
+ * Coarse class of @p op for failure bucketing: "alu", "load", "store",
+ * "amo", "branch", "jump", "fp", "sys", "fence" or "illegal".
+ */
+const char *opClassName(Op op);
+
 bool isLoad(Op op);
 bool isStore(Op op);
 bool isAmo(Op op);

@@ -103,6 +103,24 @@ class Asm
         code_.push_back((w >> 24) & 0xff);
     }
 
+    /** Emit a raw 16-bit (compressed) encoding. */
+    void
+    raw16(uint16_t w)
+    {
+        code_.push_back(w & 0xff);
+        code_.push_back((w >> 8) & 0xff);
+    }
+
+    /**
+     * Append pre-assembled position-independent bytes (e.g. a shrinkable
+     * program chunk). The bytes must not contain unresolved fixups.
+     */
+    void
+    bytes(const std::vector<uint8_t> &blob)
+    {
+        code_.insert(code_.end(), blob.begin(), blob.end());
+    }
+
     void
     rtype(isa::Op op, uint8_t rd, uint8_t rs1, uint8_t rs2)
     {

@@ -1,5 +1,7 @@
 #include "workload/programs.h"
 
+#include "workload/shrinkable.h"
+
 #include <algorithm>
 #include <bit>
 #include <cstring>
@@ -553,159 +555,12 @@ sv39Program(const Layout &layout)
 Program
 randomProgram(Rng &rng, unsigned nInsts, bool withFp, const Layout &layout)
 {
-    Program prog;
-    prog.name = "random";
-    prog.entry = layout.codeBase;
-
-    // 4 KB sandbox for memory operations, pre-filled with random data.
-    std::vector<uint8_t> sandbox(4096);
-    for (auto &b : sandbox)
-        b = static_cast<uint8_t>(rng.next());
-    prog.segments.push_back({layout.dataBase, std::move(sandbox)});
-
-    Asm a(layout.codeBase);
-    // Seed registers (skip x0 and s0, which anchors the sandbox).
-    for (unsigned r = 1; r < 32; ++r) {
-        if (r == s0)
-            continue;
-        a.li(static_cast<uint8_t>(r), rng.next());
-    }
-    a.li(s0, layout.dataBase);
-    if (withFp) {
-        for (unsigned r = 0; r < 32; r += 3) {
-            a.li(t0, rng.next());
-            isa::DecodedInst mv;
-            mv.op = Op::FmvDX;
-            mv.rd = static_cast<uint8_t>(r);
-            mv.rs1 = t0;
-            a.emit(mv);
-        }
-    }
-
-    auto pickRd = [&]() -> uint8_t {
-        uint8_t r;
-        do {
-            r = static_cast<uint8_t>(rng.below(32));
-        } while (r == s0);
-        return r;
-    };
-    auto pickRs = [&]() -> uint8_t {
-        return static_cast<uint8_t>(rng.below(32));
-    };
-
-    static const Op aluR[] = {
-        Op::Add, Op::Sub, Op::Sll, Op::Slt, Op::Sltu, Op::Xor, Op::Srl,
-        Op::Sra, Op::Or, Op::And, Op::Addw, Op::Subw, Op::Sllw, Op::Srlw,
-        Op::Sraw, Op::Mul, Op::Mulh, Op::Mulhsu, Op::Mulhu, Op::Div,
-        Op::Divu, Op::Rem, Op::Remu, Op::Mulw, Op::Divw, Op::Divuw,
-        Op::Remw, Op::Remuw, Op::Andn, Op::Orn, Op::Xnor, Op::Max,
-        Op::Maxu, Op::Min, Op::Minu, Op::Rol, Op::Ror, Op::Sh1add,
-        Op::Sh2add, Op::Sh3add, Op::AddUw, Op::Rolw, Op::Rorw,
-    };
-    static const Op aluI[] = {
-        Op::Addi, Op::Slti, Op::Sltiu, Op::Xori, Op::Ori, Op::Andi,
-        Op::Addiw,
-    };
-    static const Op shiftI[] = {Op::Slli, Op::Srli, Op::Srai, Op::Rori};
-    static const Op unary[] = {
-        Op::Clz, Op::Ctz, Op::Cpop, Op::Clzw, Op::Ctzw, Op::Cpopw,
-        Op::SextB, Op::SextH, Op::ZextH, Op::OrcB, Op::Rev8,
-    };
-    static const Op loads[] = {Op::Lb, Op::Lh, Op::Lw, Op::Ld, Op::Lbu,
-                               Op::Lhu, Op::Lwu};
-    static const Op stores[] = {Op::Sb, Op::Sh, Op::Sw, Op::Sd};
-    static const Op branches[] = {Op::Beq, Op::Bne, Op::Blt, Op::Bge,
-                                  Op::Bltu, Op::Bgeu};
-    static const Op fpArith[] = {
-        Op::FaddD, Op::FsubD, Op::FmulD, Op::FdivD, Op::FsqrtD,
-        Op::FaddS, Op::FsubS, Op::FmulS, Op::FdivS, Op::FsqrtS,
-        Op::FsgnjD, Op::FsgnjnD, Op::FsgnjxD, Op::FminD, Op::FmaxD,
-        Op::FsgnjS, Op::FminS, Op::FmaxS,
-        Op::FmaddD, Op::FmsubD, Op::FnmsubD, Op::FnmaddD,
-    };
-    static const Op amos[] = {
-        Op::AmoSwapW, Op::AmoAddW, Op::AmoXorW, Op::AmoAndW, Op::AmoOrW,
-        Op::AmoMinW, Op::AmoMaxW, Op::AmoMinuW, Op::AmoMaxuW,
-        Op::AmoSwapD, Op::AmoAddD, Op::AmoXorD, Op::AmoAndD, Op::AmoOrD,
-        Op::AmoMinD, Op::AmoMaxD, Op::AmoMinuD, Op::AmoMaxuD,
-    };
-
-    auto sandboxAddr = [&](unsigned size) {
-        // t0 = s0 + (aligned offset within the low 2 KB of the sandbox).
-        // Two andi steps: clamp positive (0x7ff), then align (-size has
-        // all high bits set, so it only clears the low alignment bits).
-        a.itype(Op::Andi, t0, pickRs(), 0x7ff);
-        a.itype(Op::Andi, t0, t0, -static_cast<int64_t>(size));
-        a.rtype(Op::Add, t0, t0, s0);
-    };
-
-    for (unsigned i = 0; i < nInsts; ++i) {
-        unsigned cat = static_cast<unsigned>(rng.below(100));
-        if (cat < 35) {
-            a.rtype(aluR[rng.below(std::size(aluR))], pickRd(), pickRs(),
-                    pickRs());
-        } else if (cat < 50) {
-            a.itype(aluI[rng.below(std::size(aluI))], pickRd(), pickRs(),
-                    static_cast<int64_t>(rng.next() & 0xfff) - 2048);
-        } else if (cat < 57) {
-            a.itype(shiftI[rng.below(std::size(shiftI))], pickRd(),
-                    pickRs(), static_cast<int64_t>(rng.below(64)));
-        } else if (cat < 62) {
-            a.itype(unary[rng.below(std::size(unary))], pickRd(), pickRs(),
-                    0);
-        } else if (cat < 72) {
-            Op op = loads[rng.below(std::size(loads))];
-            sandboxAddr(isa::memSize(op));
-            a.load(op, pickRd(), 0, t0);
-        } else if (cat < 80) {
-            Op op = stores[rng.below(std::size(stores))];
-            sandboxAddr(isa::memSize(op));
-            a.store(op, pickRs(), 0, t0);
-        } else if (cat < 88) {
-            // Short forward branch over 1-3 filler instructions.
-            Label skip = a.newLabel();
-            a.branch(branches[rng.below(std::size(branches))], pickRs(),
-                     pickRs(), skip);
-            unsigned fill = 1 + static_cast<unsigned>(rng.below(3));
-            for (unsigned k = 0; k < fill; ++k)
-                a.rtype(aluR[rng.below(std::size(aluR))], pickRd(),
-                        pickRs(), pickRs());
-            a.bind(skip);
-        } else if (cat < 93 && withFp) {
-            Op op = fpArith[rng.below(std::size(fpArith))];
-            a.fp3(op, static_cast<uint8_t>(rng.below(32)),
-                  static_cast<uint8_t>(rng.below(32)),
-                  static_cast<uint8_t>(rng.below(32)),
-                  static_cast<uint8_t>(rng.below(32)));
-        } else if (cat < 96 && withFp) {
-            // fp <-> int traffic
-            if (rng.chance(50)) {
-                a.fp3(Op::FmvDX, static_cast<uint8_t>(rng.below(32)),
-                      pickRs(), 0);
-            } else {
-                a.fp3(Op::FmvXD, pickRd(),
-                      static_cast<uint8_t>(rng.below(32)), 0);
-            }
-        } else if (cat < 98) {
-            Op op = amos[rng.below(std::size(amos))];
-            sandboxAddr(isa::memSize(op));
-            a.rtype(op, pickRd(), t0, pickRs());
-        } else {
-            // lr/sc pair on a fixed sandbox slot; the lr result must not
-            // clobber the address register before the sc consumes it.
-            bool dbl = rng.chance(50);
-            sandboxAddr(8);
-            uint8_t lrd = pickRd();
-            while (lrd == t0)
-                lrd = pickRd();
-            a.rtype(dbl ? Op::LrD : Op::LrW, lrd, t0, 0);
-            a.rtype(dbl ? Op::ScD : Op::ScW, pickRd(), t0, pickRs());
-        }
-    }
-
-    a.exit(0);
-    prog.segments.push_back(a.finish());
-    return prog;
+    // Delegates to the shrinkable chunk-based generator (shrinkable.h)
+    // so fuzz tests and campaign jobs share one instruction mix.
+    RandomSpec spec;
+    spec.nInsts = nInsts;
+    spec.withFp = withFp;
+    return randomShrinkable(rng, spec, layout).assemble();
 }
 
 } // namespace minjie::workload

@@ -1,0 +1,30 @@
+/**
+ * Long campaign smoke run (ctest label: slow). A wider clean sweep
+ * across every engine pair plus a slice of DiffTest jobs must find no
+ * divergence — the nightly-grade version of the tier1 campaign tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+
+namespace {
+
+using namespace minjie::campaign;
+
+TEST(CampaignSlow, WideCleanSweepFindsNoDivergence)
+{
+    CampaignConfig cfg;
+    cfg.seedBase = 1;
+    cfg.seedCount = 400;
+    cfg.workers = 4;
+    cfg.nInsts = 300;
+    cfg.difftestPct = 5;
+    CampaignReport rep = runCampaign(cfg);
+    EXPECT_EQ(rep.failures, 0u);
+    for (const auto &jr : rep.results)
+        EXPECT_FALSE(jr.failed) << "seed " << jr.seed << ": "
+                                << jr.detail;
+}
+
+} // namespace

@@ -3,13 +3,23 @@
  * the identical architectural state and memory image for random
  * programs. This is the in-repo analogue of DiffTest's premise that
  * engines sharing a specification are interchangeable REFs.
+ *
+ * The matrix covers all four engines (Spike, Dromajo, TCI, NEMU) and
+ * the generator's RVC and LR/SC/AMO modes. NEMU executes fp on the
+ * host FPU, so it only joins the integer rows; bit-exact fp fuzzing
+ * runs on the soft-float engines.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <type_traits>
+
 #include "iss/interp.h"
 #include "iss/system.h"
+#include "nemu/nemu.h"
 #include "workload/programs.h"
+#include "workload/shrinkable.h"
 
 namespace {
 
@@ -32,13 +42,18 @@ runProgram(const wl::Program &prog)
 {
     System sys(32);
     prog.loadInto(sys.dram);
-    Engine interp(sys.bus, 0, prog.entry);
-    interp.setHaltFn([&] { return sys.simctrl.exited(); });
-    auto r = interp.run(2'000'000);
+    std::unique_ptr<Engine> interp;
+    if constexpr (std::is_same_v<Engine, nemu::Nemu>)
+        interp = std::make_unique<Engine>(sys.bus, sys.dram, 0,
+                                          prog.entry);
+    else
+        interp = std::make_unique<Engine>(sys.bus, 0, prog.entry);
+    interp->setHaltFn([&] { return sys.simctrl.exited(); });
+    auto r = interp->run(2'000'000);
     EXPECT_TRUE(r.halted) << "engine did not reach exit";
 
     FinalState fs;
-    const auto &st = interp.state();
+    const auto &st = interp->state();
     for (int i = 0; i < 32; ++i) {
         fs.x[i] = st.x[i];
         fs.f[i] = st.f[i];
@@ -69,25 +84,42 @@ expectEqualStates(const FinalState &a, const FinalState &b,
     ASSERT_EQ(a.sandbox, b.sandbox) << label << " seed=" << seed;
 }
 
+wl::Program
+generate(uint64_t seed, bool withFp, bool withRvc)
+{
+    Rng rng(seed);
+    wl::RandomSpec spec;
+    spec.nInsts = 400;
+    spec.withFp = withFp;
+    spec.withRvc = withRvc;
+    return wl::randomShrinkable(rng, spec).assemble();
+}
+
+/** Run on all four engines and cross-check against Spike. */
+void
+crossCheckAll(const wl::Program &prog, uint64_t seed)
+{
+    auto spike = runProgram<SpikeInterp>(prog);
+    auto dromajo = runProgram<DromajoInterp>(prog);
+    auto tci = runProgram<TciInterp>(prog);
+    auto nemu = runProgram<nemu::Nemu>(prog);
+    expectEqualStates(spike, dromajo, "spike-vs-dromajo", seed);
+    expectEqualStates(spike, tci, "spike-vs-tci", seed);
+    expectEqualStates(spike, nemu, "spike-vs-nemu", seed);
+}
+
 class FuzzCosim : public ::testing::TestWithParam<int> {};
 
 TEST_P(FuzzCosim, IntegerProgramsAgree)
 {
     uint64_t seed = 1000 + GetParam();
-    Rng rng(seed);
-    auto prog = wl::randomProgram(rng, 400, /*withFp=*/false);
-    auto spike = runProgram<SpikeInterp>(prog);
-    auto dromajo = runProgram<DromajoInterp>(prog);
-    auto tci = runProgram<TciInterp>(prog);
-    expectEqualStates(spike, dromajo, "spike-vs-dromajo", seed);
-    expectEqualStates(spike, tci, "spike-vs-tci", seed);
+    crossCheckAll(generate(seed, /*fp=*/false, /*rvc=*/false), seed);
 }
 
 TEST_P(FuzzCosim, FpProgramsAgree)
 {
     uint64_t seed = 9000 + GetParam();
-    Rng rng(seed);
-    auto prog = wl::randomProgram(rng, 400, /*withFp=*/true);
+    auto prog = generate(seed, /*fp=*/true, /*rvc=*/false);
     // Spike uses the soft-float backend, Dromajo soft, and both must
     // match bit-for-bit (the backends are cross-validated separately).
     auto spike = runProgram<SpikeInterp>(prog);
@@ -95,6 +127,31 @@ TEST_P(FuzzCosim, FpProgramsAgree)
     expectEqualStates(spike, dromajo, "spike-vs-dromajo-fp", seed);
 }
 
+TEST_P(FuzzCosim, CompressedProgramsAgree)
+{
+    uint64_t seed = 17000 + GetParam();
+    crossCheckAll(generate(seed, /*fp=*/false, /*rvc=*/true), seed);
+}
+
+TEST_P(FuzzCosim, CompressedFpProgramsAgree)
+{
+    uint64_t seed = 21000 + GetParam();
+    auto prog = generate(seed, /*fp=*/true, /*rvc=*/true);
+    auto spike = runProgram<SpikeInterp>(prog);
+    auto dromajo = runProgram<DromajoInterp>(prog);
+    auto tci = runProgram<TciInterp>(prog);
+    expectEqualStates(spike, dromajo, "spike-vs-dromajo-rvcfp", seed);
+    expectEqualStates(spike, tci, "spike-vs-tci-rvcfp", seed);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCosim, ::testing::Range(0, 12));
+
+// The generator's AMO/LR-SC category fires on ~9% of chunks; a focused
+// run with many short programs guarantees the atomics paths are hit.
+TEST(FuzzCosimAtomics, AmoSequencesAgreeAcrossEngines)
+{
+    for (uint64_t seed = 31000; seed < 31040; ++seed)
+        crossCheckAll(generate(seed, /*fp=*/false, /*rvc=*/false), seed);
+}
 
 } // namespace
