@@ -10,9 +10,20 @@
  * Paper shape: Spike is the best baseline (~142 MIPS int / 106 fp);
  * NEMU is ~5.16x Spike on SPECint and ~7.71x on SPECfp (up to 16x on
  * 410.bwaves).
+ *
+ * Flags:
+ *   --nemu-no-chain     ablate NEMU block chaining (successor caching,
+ *                       superblocks, the indirect inline cache)
+ *   --nemu-no-fastpath  ablate NEMU's memory fast path (host-pointer
+ *                       TLB + direct-DRAM access)
+ *   --smoke             perf-regression gate: run full NEMU vs both
+ *                       ablations off at a fixed small budget and fail
+ *                       (exit 1) unless full >= 2x ablated
  */
 
 #include "bench_util.h"
+
+#include <cstring>
 
 #include "iss/interp.h"
 #include "iss/system.h"
@@ -22,6 +33,12 @@ using namespace bench;
 using namespace minjie;
 
 namespace {
+
+struct NemuOpts
+{
+    bool chain = true;
+    bool fastPath = true;
+};
 
 struct EngineResult
 {
@@ -42,8 +59,20 @@ runEngine(const wl::Program &prog, InstCount budget, MakeEngine make)
     return sec > 0 ? r.executed / sec / 1e6 : 0;
 }
 
+double
+runNemu(const wl::Program &prog, InstCount budget, const NemuOpts &opts)
+{
+    return runEngine(prog, budget, [&](iss::System &sys) {
+        auto n = std::make_unique<nemu::Nemu>(sys.bus, sys.dram, 0,
+                                              prog.entry, 16384);
+        n->setChainingEnabled(opts.chain);
+        n->setFastPathEnabled(opts.fastPath);
+        return n;
+    });
+}
+
 EngineResult
-runAll(const wl::Program &prog, InstCount budget)
+runAll(const wl::Program &prog, InstCount budget, const NemuOpts &opts)
 {
     EngineResult out;
     out.mips[0] = runEngine(prog, budget, [&](iss::System &sys) {
@@ -57,16 +86,13 @@ runAll(const wl::Program &prog, InstCount budget)
         return std::make_unique<iss::DromajoInterp>(sys.bus, 0,
                                                     prog.entry);
     });
-    out.mips[3] = runEngine(prog, budget, [&](iss::System &sys) {
-        return std::make_unique<nemu::Nemu>(sys.bus, sys.dram, 0,
-                                            prog.entry, 16384);
-    });
+    out.mips[3] = runNemu(prog, budget, opts);
     return out;
 }
 
 void
 runSuite(const char *title, const std::vector<wl::ProxySpec> &suite,
-         InstCount budget, uint64_t iterations)
+         InstCount budget, uint64_t iterations, const NemuOpts &opts)
 {
     std::printf("%s\n", title);
     std::printf("%-18s %9s %9s %9s %9s %9s\n", "benchmark", "Spike",
@@ -76,7 +102,7 @@ runSuite(const char *title, const std::vector<wl::ProxySpec> &suite,
     double sums[4] = {};
     for (const auto &spec : suite) {
         auto prog = wl::buildProxy(spec, iterations);
-        auto r = runAll(prog, budget);
+        auto r = runAll(prog, budget, opts);
         double ratio = r.mips[0] > 0 ? r.mips[3] / r.mips[0] : 0;
         ratios.push_back(ratio);
         for (int i = 0; i < 4; ++i)
@@ -93,11 +119,96 @@ runSuite(const char *title, const std::vector<wl::ProxySpec> &suite,
     std::printf("\n");
 }
 
+/**
+ * Perf-regression smoke gate (ctest label "bench-smoke"): NEMU with
+ * chaining + memory fast path must stay at least 2x the fully ablated
+ * configuration on the same host at the same budget. The hot-loop
+ * optimizations are load-bearing for the paper's Figure 8 claim, so a
+ * regression here should fail CI loudly rather than just ship slower
+ * numbers.
+ */
+int
+runSmoke()
+{
+    // 2M instructions so each proxy's working set and the block-chain
+    // graph fully materialize (short budgets underweight exactly the
+    // effects the fast path removes); best-of-3 interleaved reps damp
+    // co-tenant noise on shared CI hosts.
+    constexpr InstCount BUDGET = 2'000'000;
+    constexpr int REPS = 3;
+    constexpr double MIN_RATIO = 2.0;
+    // The control-heavy int proxies the hot-loop work targets: gcc
+    // (calls + indirects), gobmk (branchy search), xalancbmk (virtual
+    // dispatch). Memory-bound proxies (mcf) are excluded: their host
+    // cache misses dominate both configurations and compress the
+    // ratio below what a regression would move.
+    const auto &all = wl::specIntSuite();
+    std::vector<wl::ProxySpec> suite = {all[1], all[3], all[10]};
+
+    std::printf("=== fig8 bench smoke: NEMU full vs ablated ===\n");
+    std::printf("(budget %llu insts/run, best of %d; gate: full >= "
+                "%.1fx ablated)\n\n",
+                static_cast<unsigned long long>(BUDGET), REPS,
+                MIN_RATIO);
+    std::printf("%-18s %10s %10s %8s\n", "benchmark", "full",
+                "ablated", "ratio");
+    hr();
+
+    NemuOpts full;
+    NemuOpts ablated{/*chain=*/false, /*fastPath=*/false};
+    std::vector<double> ratios;
+    for (const auto &spec : suite) {
+        auto prog = wl::buildProxy(spec, 100'000'000);
+        // Warm-up pass absorbs first-touch page allocation noise.
+        (void)runNemu(prog, BUDGET / 4, full);
+        double fullMips = 0, ablMips = 0;
+        for (int r = 0; r < REPS; ++r) {
+            fullMips = std::max(fullMips, runNemu(prog, BUDGET, full));
+            ablMips = std::max(ablMips, runNemu(prog, BUDGET, ablated));
+        }
+        double ratio = ablMips > 0 ? fullMips / ablMips : 0;
+        ratios.push_back(ratio);
+        std::printf("%-18s %10.1f %10.1f %7.2fx\n", spec.name, fullMips,
+                    ablMips, ratio);
+    }
+    hr();
+    double g = geomean(ratios);
+    std::printf("%-18s %21s %7.2fx\n", "geomean", "", g);
+    if (g < MIN_RATIO) {
+        std::printf("\nFAIL: chaining+fastpath speedup %.2fx < %.1fx "
+                    "gate\n", g, MIN_RATIO);
+        return 1;
+    }
+    std::printf("\nPASS: chaining+fastpath speedup %.2fx >= %.1fx\n", g,
+                MIN_RATIO);
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    NemuOpts opts;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--nemu-no-chain") == 0)
+            opts.chain = false;
+        else if (std::strcmp(argv[i], "--nemu-no-fastpath") == 0)
+            opts.fastPath = false;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--nemu-no-chain] "
+                         "[--nemu-no-fastpath] [--smoke]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (smoke)
+        return runSmoke();
+
     bool fast = fastMode();
     InstCount budget = fast ? 300'000 : 5'000'000;
     uint64_t iterations = 1'000'000; // bounded by the budget anyway
@@ -107,6 +218,12 @@ main()
                 ">> Spike > Dromajo > QEMU-TCI,\n NEMU/Spike ~5.2x int "
                 "and ~7.7x fp)\n\n",
                 static_cast<unsigned long long>(budget));
+    if (!opts.chain)
+        std::printf("[ablation] NEMU block chaining disabled\n");
+    if (!opts.fastPath)
+        std::printf("[ablation] NEMU memory fast path disabled\n");
+    if (!opts.chain || !opts.fastPath)
+        std::printf("\n");
 
     auto intSuite = wl::specIntSuite();
     auto fpSuite = wl::specFpSuite();
@@ -114,7 +231,7 @@ main()
         intSuite.resize(3);
         fpSuite.resize(3);
     }
-    runSuite("SPECint 2006 proxies:", intSuite, budget, iterations);
-    runSuite("SPECfp 2006 proxies:", fpSuite, budget, iterations);
+    runSuite("SPECint 2006 proxies:", intSuite, budget, iterations, opts);
+    runSuite("SPECfp 2006 proxies:", fpSuite, budget, iterations, opts);
     return 0;
 }

@@ -101,8 +101,8 @@ runJob(const CampaignConfig &cfg, uint64_t seed)
         jr.kind = std::string(engineName(plan.a)) + "-vs-" +
                   engineName(plan.b);
         const BugInject *bug = cfg.bug.enabled ? &cfg.bug : nullptr;
-        LockstepResult lr =
-            runLockstep(plan.a, plan.b, prog, cfg.maxSteps, bug);
+        LockstepResult lr = runLockstep(plan.a, plan.b, prog,
+                                        cfg.maxSteps, bug, cfg.lockstep);
         jr.steps = lr.steps;
         jr.failed = lr.div.diverged();
         if (jr.failed) {
@@ -196,8 +196,8 @@ runCampaign(const CampaignConfig &cfg)
                 sig = [c, ea, eb](const wl::Program &p) {
                     const BugInject *bug =
                         c->bug.enabled ? &c->bug : nullptr;
-                    LockstepResult lr =
-                        runLockstep(ea, eb, p, c->maxSteps, bug);
+                    LockstepResult lr = runLockstep(
+                        ea, eb, p, c->maxSteps, bug, c->lockstep);
                     return lr.div.diverged() ? lr.div.signature()
                                              : std::string();
                 };

@@ -51,6 +51,7 @@ struct CampaignConfig
     };
 
     BugInject bug;              ///< optional self-test corruption
+    LockstepOptions lockstep;   ///< NEMU ablation flags for every job
     bool shrinkFailures = true; ///< delta-debug one rep per bucket
     std::string corpusDir;      ///< when set, write minimized failures
 };

@@ -52,7 +52,8 @@ struct EngineBox
 };
 
 std::unique_ptr<EngineBox>
-makeEngine(Engine kind, const workload::Program &prog)
+makeEngine(Engine kind, const workload::Program &prog,
+           const LockstepOptions &opts)
 {
     auto box = std::make_unique<EngineBox>();
     prog.loadInto(box->sys.dram);
@@ -69,10 +70,14 @@ makeEngine(Engine kind, const workload::Program &prog)
         box->interp =
             std::make_unique<TciInterp>(box->sys.bus, 0, prog.entry);
         break;
-      case Engine::Nemu:
-        box->interp = std::make_unique<nemu::Nemu>(
+      case Engine::Nemu: {
+        auto n = std::make_unique<nemu::Nemu>(
             box->sys.bus, box->sys.dram, 0, prog.entry);
+        n->setChainingEnabled(opts.nemuChain);
+        n->setFastPathEnabled(opts.nemuFastPath);
+        box->interp = std::move(n);
         break;
+      }
     }
     return box;
 }
@@ -156,10 +161,11 @@ Divergence::describe() const
 
 LockstepResult
 runLockstep(Engine a, Engine b, const workload::Program &prog,
-            uint64_t maxSteps, const BugInject *bug)
+            uint64_t maxSteps, const BugInject *bug,
+            const LockstepOptions &opts)
 {
-    auto ea = makeEngine(a, prog);
-    auto eb = makeEngine(b, prog);
+    auto ea = makeEngine(a, prog, opts);
+    auto eb = makeEngine(b, prog, opts);
     LockstepResult res;
 
     for (uint64_t step = 0; step < maxSteps; ++step) {
@@ -177,12 +183,14 @@ runLockstep(Engine a, Engine b, const workload::Program &prog,
         ea->sys.dram.read(pc, 4, raw);
         isa::DecodedInst di = isa::decode(static_cast<uint32_t>(raw));
 
-        isa::Trap ta = ea->interp->step();
-        isa::Trap tb = eb->interp->step();
+        // run(1) is virtual: NEMU executes through its chained
+        // threaded-code engine, the baseline engines through step().
+        iss::RunResult ra = ea->interp->run(1);
+        iss::RunResult rb = eb->interp->run(1);
         ++res.steps;
 
         if (bug && bug->enabled &&
-            !(bug->side == 0 ? ta : tb).pending())
+            !(bug->side == 0 ? ra : rb).trapped)
             applyBug(*bug, bug->side == 0 ? sa : sb, di);
 
         Divergence &d = res.div;

@@ -79,13 +79,31 @@ struct LockstepResult
 };
 
 /**
+ * Per-run engine tuning. The NEMU ablation flags mirror
+ * `--nemu-no-chain` / `--nemu-no-fastpath`: the campaign exercises the
+ * chained fast-path engine by default (divergences there are exactly
+ * what co-simulation exists to catch), but either optimization can be
+ * switched off to bisect a miscompare.
+ */
+struct LockstepOptions
+{
+    bool nemuChain = true;    ///< block chaining + superblocks
+    bool nemuFastPath = true; ///< host-pointer TLB + direct-DRAM path
+};
+
+/**
  * Run @p prog on engines @p a and @p b in lockstep for at most
  * @p maxSteps instructions, comparing pc, integer/fp registers and
  * fflags after every instruction and the data sandbox at exit.
+ *
+ * Engines step through the virtual Interp::run(1) so NEMU executes its
+ * production threaded-code path (chaining, host TLB) with
+ * per-instruction commit granularity.
  */
 LockstepResult runLockstep(Engine a, Engine b, const workload::Program &prog,
                            uint64_t maxSteps,
-                           const BugInject *bug = nullptr);
+                           const BugInject *bug = nullptr,
+                           const LockstepOptions &opts = {});
 
 } // namespace minjie::campaign
 

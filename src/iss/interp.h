@@ -34,7 +34,8 @@ namespace minjie::iss {
 struct RunResult
 {
     InstCount executed = 0;
-    bool halted = false; ///< halt predicate fired (e.g. SimCtrl exit)
+    bool halted = false;  ///< halt predicate fired (e.g. SimCtrl exit)
+    bool trapped = false; ///< at least one trap was taken during the run
 };
 
 /**
@@ -78,17 +79,24 @@ class Interp
 
     /**
      * Deliver interrupt @p irq now (DiffTest uses this to force the REF
-     * to take the same interrupt as the DUT).
+     * to take the same interrupt as the DUT). Virtual so engines caching
+     * translations can drop them across the privilege change.
      */
-    void raiseInterrupt(isa::Irq irq) { takeInterrupt(st_, irq); }
+    virtual void raiseInterrupt(isa::Irq irq) { takeInterrupt(st_, irq); }
 
-    /** Run up to @p maxInsts instructions or until the halt predicate. */
-    RunResult
+    /**
+     * Run up to @p maxInsts instructions or until the halt predicate.
+     * Virtual: NEMU overrides with its threaded-code engine, so run(1)
+     * through an Interp pointer still drives the chained fast path with
+     * per-instruction commit granularity (lockstep co-simulation).
+     */
+    virtual RunResult
     run(InstCount maxInsts)
     {
         RunResult r;
         while (r.executed < maxInsts) {
-            step();
+            if (step().pending())
+                r.trapped = true;
             ++r.executed;
             if (haltFn_ && haltFn_()) {
                 r.halted = true;

@@ -284,6 +284,8 @@ Mmu::flushTlb()
 {
     for (auto &e : tlb_)
         e.valid = false;
+    if (flushHook_)
+        flushHook_();
 }
 
 } // namespace minjie::iss

@@ -11,6 +11,8 @@
 #ifndef MINJIE_ISS_MMU_H
 #define MINJIE_ISS_MMU_H
 
+#include <functional>
+
 #include "common/types.h"
 #include "iss/arch_state.h"
 #include "mem/bus.h"
@@ -57,6 +59,17 @@ class Mmu
     /** sfence.vma: drop all cached translations. */
     void flushTlb();
 
+    /**
+     * Shootdown hook invoked whenever the functional TLB is flushed
+     * (sfence.vma, satp change). Fast interpreters caching derived
+     * translations (e.g. NEMU's host-pointer TLB) register here so a
+     * guest TLB flush also drops their cached host mappings.
+     */
+    void setFlushHook(std::function<void()> hook)
+    {
+        flushHook_ = std::move(hook);
+    }
+
     /** True when translation is active for data accesses. */
     bool translationOn() const;
 
@@ -86,6 +99,7 @@ class Mmu
     TlbEntry tlb_[TLB_SIZE];
     MmuStats stats_;
     Addr lastPaddr_ = 0;
+    std::function<void()> flushHook_;
 };
 
 } // namespace minjie::iss

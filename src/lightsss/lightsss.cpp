@@ -49,6 +49,15 @@ LightSSS::tick(Cycle now)
 {
     if (!cfg_.enabled)
         return Role::Parent;
+    if (now < lastForkCycle_) {
+        // The cycle counter rewound (checkpoint restore, replay child
+        // re-simulating from its window start, a fresh run reusing
+        // this instance). The unsigned difference below would wrap to
+        // a huge value and fork immediately; re-arm the interval from
+        // the rewound clock instead.
+        lastForkCycle_ = now;
+        return Role::Parent;
+    }
     if (now - lastForkCycle_ < cfg_.intervalCycles && now != 0)
         return Role::Parent;
     lastForkCycle_ = now;
@@ -98,6 +107,9 @@ LightSSS::tick(Cycle now)
         // Woken for replay: the caller re-runs the window in debug mode.
         snapshotCycle_ = now;
         replayTarget_ = msg.targetCycle;
+        // Re-arm the fork interval at the snapshot point so a replay
+        // that keeps ticking does not fork off the parent's stale base.
+        lastForkCycle_ = now;
         return Role::ReplayChild;
     }
 

@@ -92,6 +92,25 @@ class PhysMem
      */
     uint8_t *pagePtr(Addr addr) { return bytePtr(addr); }
 
+    /**
+     * Stable host base pointer of the whole 4K page containing @p addr,
+     * or nullptr when that page is not fully inside DRAM. The pointer
+     * stays valid until clear() — check epoch() across snapshot/restore
+     * boundaries before reusing cached pointers.
+     */
+    uint8_t *
+    hostPage(Addr addr)
+    {
+        Addr pageBase = addr & ~PAGE_MASK;
+        if (!contains(pageBase, PAGE_SIZE))
+            return nullptr;
+        return bytePtr(pageBase);
+    }
+
+    /** Bumped by clear(); invalidates every previously returned page
+     *  pointer (hostPage/pagePtr). */
+    uint64_t epoch() const { return epoch_; }
+
     /** Number of pages currently allocated. */
     size_t allocatedPages() const { return pages_.size(); }
 
@@ -105,7 +124,14 @@ class PhysMem
     }
 
     /** Drop all contents (used when restoring a checkpoint). */
-    void clear() { pages_.clear(); lastPfn_ = ~0ULL; lastPage_ = nullptr; }
+    void
+    clear()
+    {
+        pages_.clear();
+        lastPfn_ = ~0ULL;
+        lastPage_ = nullptr;
+        ++epoch_;
+    }
 
   private:
     using Page = std::vector<uint8_t>;
@@ -129,6 +155,7 @@ class PhysMem
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
     Addr lastPfn_ = ~0ULL;
     uint8_t *lastPage_ = nullptr;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace minjie::mem

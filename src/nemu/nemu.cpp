@@ -1,5 +1,7 @@
 #include "nemu/nemu.h"
 
+#include <cstring>
+
 #include "common/bitutil.h"
 #include "common/log.h"
 #include "isa/decode.h"
@@ -48,7 +50,9 @@ Nemu::assignHandler(Uop &u, const DecodedInst &di)
     u.rs1 = &st_.x[di.rs1];
     u.rs2 = &st_.x[di.rs2];
     u.imm = di.imm;
-    u.di = di;
+    u.op = di.op;
+    u.rm = di.rm;
+    u.rs3 = di.rs3;
 
     switch (di.op) {
       case Op::Lui: set(H_LUI); break;
@@ -128,18 +132,29 @@ Nemu::assignHandler(Uop &u, const DecodedInst &di)
         u.rs2 = &st_.f[di.rs2];
         set(H_FSW);
         break;
-      case Op::Beq: set(H_BEQ); break;
-      case Op::Bne: set(H_BNE); break;
-      case Op::Blt: set(H_BLT); break;
-      case Op::Bge: set(H_BGE); break;
-      case Op::Bltu: set(H_BLTU); break;
-      case Op::Bgeu: set(H_BGEU); break;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        // Precompute the absolute taken target: the branch handlers
+        // never need the cold decode.
+        u.imm = static_cast<int64_t>(u.pc + di.imm);
+        switch (di.op) {
+          case Op::Beq: set(H_BEQ); break;
+          case Op::Bne: set(H_BNE); break;
+          case Op::Blt: set(H_BLT); break;
+          case Op::Bge: set(H_BGE); break;
+          case Op::Bltu: set(H_BLTU); break;
+          default: set(H_BGEU); break;
+        }
+        break;
       case Op::Jal:
         u.imm = static_cast<int64_t>(u.pc + di.imm); // absolute target
         set(di.rd == 0 ? H_J : H_JAL);
         break;
       case Op::Jalr:
-        // ret specialization: jalr x0, 0(rs1).
+        // ret specialization: jalr x0, 0(rs1). rs2 is unused, so the
+        // slot doubles as the indirect inline-cache key (with target
+        // as the cached uop index), keeping the cache in the hot line.
+        u.indirPc = ~0ULL;
         set(di.rd == 0 && di.imm == 0 ? H_RET : H_JALR);
         break;
       default:
@@ -166,15 +181,24 @@ Nemu::Nemu(mem::MemPort &bus, mem::PhysMem &dram, HartId hart, Addr entry,
       cap_(uopCacheCap)
 {
     uops_.reserve(cap_ + 256);
+    cold_.reserve(cap_ + 256);
     handlerTable(); // force label collection before first translation
+    stampRegime();
+    // A guest TLB flush (sfence.vma) must also shoot down the cached
+    // host pointers derived from those translations.
+    mmu_.setFlushHook([this] { hostTlbFlush(); });
 }
 
 void
 Nemu::flushUopCache()
 {
     uops_.clear();
+    cold_.clear();
     pcMap_.clear();
     ++stats_.flushes;
+    // Uop-cache flushes accompany every translation-regime change
+    // (fence.i, satp write, xRET, trap): drop the host pointers too.
+    hostTlbFlush();
 }
 
 int32_t
@@ -185,7 +209,18 @@ Nemu::translateBlock(Addr pc, Trap &trap)
 
     int32_t first = static_cast<int32_t>(uops_.size());
     Addr cur = pc;
+    int32_t chainFrom = -1; // jal uop waiting for its inlined target
     for (unsigned n = 0; n < 128; ++n) {
+        if (chainFrom >= 0) {
+            // Superblock formation ran into already-translated code:
+            // chain the jump to the existing entry and stop.
+            auto hit = pcMap_.find(cur);
+            if (hit != pcMap_.end()) {
+                uops_[static_cast<size_t>(chainFrom)].target = hit->second;
+                chainFrom = -1;
+                break;
+            }
+        }
         uint32_t raw;
         Trap t = mmu_.fetch(cur, raw);
         if (t.pending()) {
@@ -202,10 +237,29 @@ Nemu::translateBlock(Addr pc, Trap &trap)
         u.size = di.size;
         assignHandler(u, di);
         uops_.push_back(u);
-        pcMap_.emplace(cur, static_cast<int32_t>(uops_.size() - 1));
+        UopCold cold;
+        cold.di = di;
+        cold_.push_back(cold);
+        int32_t here = static_cast<int32_t>(uops_.size() - 1);
+        pcMap_.emplace(cur, here);
+        if (chainFrom >= 0) {
+            uops_[static_cast<size_t>(chainFrom)].target = here;
+            chainFrom = -1;
+        }
         cur += di.size;
+        if (uops_.size() >= cap_ + 128)
+            break;
+        if (chainOn_ && di.op == Op::Jal) {
+            // Superblock formation: follow the unconditional direct
+            // jump so the hot trace stays contiguous, pre-chaining the
+            // jal to the uop translated next.
+            chainFrom = here;
+            cur = u.pc + di.imm;
+            ++stats_.superblockJumps;
+            continue;
+        }
         if (isControl(di.op) || isSystem(di.op) || isFence(di.op) ||
-            di.op == Op::Illegal || uops_.size() >= cap_ + 128)
+            di.op == Op::Illegal)
             break;
     }
     // A truncated block (length limit or a mid-block fetch fault) ends
@@ -214,7 +268,7 @@ Nemu::translateBlock(Addr pc, Trap &trap)
     // pc and re-dispatches by lookup.
     if (!uops_.empty()) {
         Uop &last = uops_.back();
-        Op lop = last.di.op;
+        Op lop = last.op;
         if (!(isControl(lop) || isSystem(lop) || isFence(lop) ||
               lop == Op::Illegal))
             last.handler = handlerTable()[H_SLOW];
@@ -240,7 +294,7 @@ Nemu::stepOnce(ExecInfo *info)
     int32_t idx = lookupOrTranslate(st_.pc, t);
     if (idx < 0)
         return t;
-    const DecodedInst &di = uops_[static_cast<size_t>(idx)].di;
+    const DecodedInst &di = cold_[static_cast<size_t>(idx)].di;
 
     if (blockHook_) {
         if (blockStart_ == ~0ULL)
@@ -248,7 +302,11 @@ Nemu::stepOnce(ExecInfo *info)
         ++blockLen_;
     }
 
-    Trap et = execInst(st_, mmu_, di, fpb_, info);
+    // Always observe CSR writes even when the caller passed no probe:
+    // satp-write detection below must not depend on it.
+    ExecInfo local;
+    ExecInfo *ei = info ? info : &local;
+    Trap et = execInst(st_, mmu_, di, fpb_, ei);
 
     if (blockHook_ &&
         (isControl(di.op) || isSystem(di.op) || et.pending())) {
@@ -260,12 +318,14 @@ Nemu::stepOnce(ExecInfo *info)
     // Flush conditions: code or translation environment changed.
     if (di.op == Op::FenceI || di.op == Op::SfenceVma) {
         flushUopCache();
-    } else if (info && info->csrWritten && info->csrAddr == CSR_SATP) {
+    } else if (ei->csrWritten && ei->csrAddr == CSR_SATP) {
         flushUopCache();
     } else if (et.pending() || di.op == Op::Mret || di.op == Op::Sret) {
         // Privilege may have changed; virtual pc aliasing requires a
         // flush when the translation regime differs.
         flushUopCache();
+    } else if (ei->csrWritten) {
+        hostTlbFlush();
     }
     return et;
 }
@@ -307,7 +367,13 @@ struct NemuExec
         mem::PhysMem &dram = n.dram_;
         RunResult result;
 
-        bool fastmem = n.fastMemOk();
+        const bool chain = n.chainOn_;
+        const bool fastOn = n.fastPathOn_;
+        // State mutated outside run() (DiffTest pokes, checkpoint
+        // restore, DRAM clear) invalidates cached host pointers.
+        if (n.regimeChanged())
+            n.hostTlbFlush();
+        bool fastmem = fastOn && n.fastMemOk();
         bool fpDirty = false;
         // Start from a clean host-FPU flag state for deferred capture.
         (void)fp::harvestHostFpFlags();
@@ -320,34 +386,49 @@ struct NemuExec
             InstCount budget = chunk;
 
             int32_t idx = n.lookupOrTranslate(st.pc, trap);
-            Nemu::Uop *u = nullptr;
+            // uops_ reserves cap_+256 up front and flushes clear()
+            // without shrinking, so data() never moves: the base can
+            // live in a register across handler calls that append or
+            // flush entries, and chain edges resolve with one add.
+            Nemu::Uop *const ubase = n.uops_.data();
+            Nemu::Uop *u = ubase;
             if (idx < 0)
                 goto take_fetch_trap;
+            u = ubase + idx;
 
-// Dispatch the next uop (sequential fallthrough: idx already set).
+// Dispatch the uop u already points at. The budget check runs before
+// the handler, so at chunk_done u names the next undispatched uop.
 #define DISPATCH() \
     do { \
         if (budget == 0) \
             goto chunk_done; \
         --budget; \
-        u = &n.uops_[static_cast<size_t>(idx)]; \
         goto *u->handler; \
     } while (0)
 
-// Advance within a block: trace organization guarantees +1.
+// Advance within a block: trace organization guarantees +1, so the
+// cursor is a pointer increment with no index arithmetic.
 #define NEXT() \
     do { \
-        ++idx; \
+        ++u; \
         DISPATCH(); \
     } while (0)
 
 // Resolve a control-transfer edge with block chaining. @p field caches
 // the resolved uop index unless the cache was flushed during translate.
+// With chaining ablated, every control transfer leaves the threaded
+// code and returns to the outer dispatch loop (pc sync, retirement
+// accounting, halt poll, hash-map lookup) — the classic unchained
+// interpreter block boundary the optimization removes.
 #define CHAIN(field, targetPc) \
     do { \
+        if (!chain) { \
+            st.pc = (targetPc); \
+            goto block_boundary; \
+        } \
         int32_t t = u->field; \
         if (t < 0) { \
-            int32_t curIdx = idx; \
+            Nemu::Uop *cu = u; \
             uint64_t fl = n.stats_.flushes; \
             t = n.lookupOrTranslate((targetPc), trap); \
             if (t < 0) { \
@@ -355,10 +436,41 @@ struct NemuExec
                 goto take_fetch_trap; \
             } \
             if (n.stats_.flushes == fl) \
-                n.uops_[static_cast<size_t>(curIdx)].field = t; \
+                cu->field = t; \
             ++n.stats_.chainResolves; \
         } \
-        idx = t; \
+        u = ubase + t; \
+        DISPATCH(); \
+    } while (0)
+
+// Resolve an indirect control transfer: a one-entry inline cache per
+// uop (last target pc in the repurposed rs2 slot, its uop index in
+// target) backed by the pc hash map. Living in the hot uop, the cache
+// hit costs one compare on an already-fetched line.
+#define CHAIN_INDIRECT(targetPc) \
+    do { \
+        Addr tp = (targetPc); \
+        if (!chain) { \
+            st.pc = tp; \
+            goto block_boundary; \
+        } \
+        if (u->indirPc == tp) { \
+            u = ubase + u->target; \
+            DISPATCH(); \
+        } \
+        Nemu::Uop *cu = u; \
+        uint64_t fl = n.stats_.flushes; \
+        int32_t t = n.lookupOrTranslate(tp, trap); \
+        if (t < 0) { \
+            st.pc = tp; \
+            goto take_fetch_trap; \
+        } \
+        if (n.stats_.flushes == fl) { \
+            cu->indirPc = tp; \
+            cu->target = t; \
+        } \
+        ++n.stats_.chainResolves; \
+        u = ubase + t; \
         DISPATCH(); \
     } while (0)
 
@@ -473,14 +585,24 @@ struct NemuExec
             NEXT();
           }
 
-// Fast-path load: direct host access to sparse DRAM pages; falls back to
-// the MMU for MMIO, translation-on, or out-of-range addresses.
+// Fast-path load, tried in order: (1) host-pointer TLB hit — an aligned
+// access whose virtual page was translated before reads host memory
+// directly, skipping Mmu::translate and the bus; (2) direct DRAM access
+// when translation is off in M-mode; (3) the full MMU walk, which on
+// success fills the host-pointer TLB for the next access to that page.
 #define LOAD(size, convert) \
     do { \
         Addr addr = *u->rs1 + u->imm; \
         uint64_t data; \
-        if (fastmem && dram.contains(addr, size)) { \
+        const Nemu::HostTlbEnt &he = \
+            n.ldTlb_[(addr >> 12) & Nemu::HTLB_MASK]; \
+        if ((addr & ((size) - 1)) == 0 && he.vpn == (addr >> 12)) { \
+            data = 0; \
+            std::memcpy(&data, he.host + (addr & 0xfff), (size)); \
+        } else if (fastmem && dram.contains(addr, size)) { \
             dram.read(addr, size, data); \
+            /* M-mode bare: identity mapping, cache the host page. */ \
+            n.hostTlbFillPhys(n.ldTlb_, addr, addr, size); \
         } else { \
             st.pc = u->pc; \
             Trap t = n.mmu_.load(addr, size, data); \
@@ -488,6 +610,8 @@ struct NemuExec
                 trap = t; \
                 goto take_trap; \
             } \
+            if (fastOn) \
+                n.hostTlbFill(n.ldTlb_, addr, size); \
         } \
         *u->rd = (convert); \
         NEXT(); \
@@ -496,8 +620,14 @@ struct NemuExec
 #define STORE(size, value) \
     do { \
         Addr addr = *u->rs1 + u->imm; \
-        if (fastmem && dram.contains(addr, size)) { \
+        const Nemu::HostTlbEnt &he = \
+            n.stTlb_[(addr >> 12) & Nemu::HTLB_MASK]; \
+        if ((addr & ((size) - 1)) == 0 && he.vpn == (addr >> 12)) { \
+            uint64_t v = (value); \
+            std::memcpy(he.host + (addr & 0xfff), &v, (size)); \
+        } else if (fastmem && dram.contains(addr, size)) { \
             dram.write(addr, size, (value)); \
+            n.hostTlbFillPhys(n.stTlb_, addr, addr, size); \
         } else { \
             st.pc = u->pc; \
             Trap t = n.mmu_.store(addr, size, (value)); \
@@ -505,6 +635,8 @@ struct NemuExec
                 trap = t; \
                 goto take_trap; \
             } \
+            if (fastOn) \
+                n.hostTlbFill(n.stTlb_, addr, size); \
             /* MMIO stores may complete the workload (SimCtrl exit); \
                honour the halt predicate immediately like the baseline \
                engines do. */ \
@@ -533,7 +665,7 @@ struct NemuExec
 #define BRANCH(cond) \
     do { \
         if (cond) \
-            CHAIN(target, u->pc + u->di.imm); \
+            CHAIN(target, static_cast<Addr>(u->imm)); \
         else \
             CHAIN(next, u->pc + u->size); \
     } while (0)
@@ -551,40 +683,29 @@ struct NemuExec
             *u->rd = u->pc + u->size;
             CHAIN(target, static_cast<Addr>(u->imm));
           h_jalr: {
+            // Target computed before the link write (rd may alias rs1).
             Addr target = (*u->rs1 + u->imm) & ~1ULL;
             *u->rd = u->pc + u->size;
-            int32_t t = n.lookupOrTranslate(target, trap);
-            if (t < 0) {
-                st.pc = target;
-                goto take_fetch_trap;
-            }
-            idx = t;
-            DISPATCH();
+            CHAIN_INDIRECT(target);
           }
           h_ret: {
             Addr target = (*u->rs1 + u->imm) & ~1ULL;
-            int32_t t = n.lookupOrTranslate(target, trap);
-            if (t < 0) {
-                st.pc = target;
-                goto take_fetch_trap;
-            }
-            idx = t;
-            DISPATCH();
+            CHAIN_INDIRECT(target);
           }
 
           h_fp: {
             if (!st.csr.fpEnabled())
                 goto slow_path;
-            unsigned rm = u->di.rm;
+            unsigned rm = u->rm;
             if (rm == 7)
                 rm = st.csr.frm;
             if (rm > 4)
                 goto slow_path;
-            uint64_t c = st.f[u->di.rs3];
+            uint64_t c = st.f[u->rs3];
             // Deferred-flag host execution: exception bits accumulate
             // in the MXCSR and are harvested before any architectural
             // fflags access (slow path / run exit).
-            fp::FpOut out = fp::fpExecFast(u->di.op, *u->rs1, *u->rs2,
+            fp::FpOut out = fp::fpExecFast(u->op, *u->rs1, *u->rs2,
                                            c, rm);
             fpDirty = true;
             *u->rd = out.value;
@@ -611,13 +732,16 @@ struct NemuExec
             result.executed += completed;
 
             ExecInfo info;
-            Trap t = execInst(st, n.mmu_, u->di, n.fpb_, &info);
-            Op op = u->di.op;
+            const DecodedInst &sdi =
+                n.cold_[static_cast<size_t>(u - ubase)].di;
+            Trap t = execInst(st, n.mmu_, sdi, n.fpb_, &info);
+            Op op = sdi.op;
             bool flush = op == Op::FenceI || op == Op::SfenceVma ||
                          (info.csrWritten && info.csrAddr == CSR_SATP) ||
                          op == Op::Mret || op == Op::Sret;
             if (t.pending()) {
                 takeTrap(st, t, st.pc);
+                result.trapped = true;
                 flush = true;
             }
             ++st.instret;
@@ -627,12 +751,18 @@ struct NemuExec
             chunk = budget; // remaining budget becomes the new chunk
             if (flush)
                 n.flushUopCache();
-            fastmem = n.fastMemOk();
+            else if (info.csrWritten)
+                // Any CSR write may alter the translation regime
+                // (mstatus SUM/MXR/MPRV, satp): drop cached host
+                // pointers. flushUopCache above already did so.
+                n.hostTlbFlush();
+            fastmem = fastOn && n.fastMemOk();
             if (result.executed >= maxInsts || budget == 0)
                 goto chunk_boundary;
             idx = n.lookupOrTranslate(st.pc, trap);
             if (idx < 0)
                 goto take_fetch_trap;
+            u = ubase + idx;
             DISPATCH();
           }
 
@@ -647,7 +777,8 @@ struct NemuExec
             result.executed += done;
             takeTrap(st, trap, st.pc);
             trap = Trap::none();
-            fastmem = n.fastMemOk();
+            result.trapped = true;
+            fastmem = fastOn && n.fastMemOk();
             n.flushUopCache();
             chunk = budget = 0;
             goto chunk_boundary;
@@ -663,7 +794,8 @@ struct NemuExec
             result.executed += done;
             takeTrap(st, trap, st.pc);
             trap = Trap::none();
-            fastmem = n.fastMemOk();
+            result.trapped = true;
+            fastmem = fastOn && n.fastMemOk();
             n.flushUopCache();
             // Guarantee forward progress when the trap handler itself
             // cannot be fetched (e.g. mtvec at unmapped memory).
@@ -687,12 +819,24 @@ struct NemuExec
           }
 
           chunk_done: {
-            // idx names the next (undispatched) uop: resume from there.
-            st.pc = n.uops_[static_cast<size_t>(idx)].pc;
+            // u names the next (undispatched) uop: resume from there.
+            st.pc = u->pc;
             st.instret += chunk;
             st.csr.minstret += chunk;
             st.csr.mcycle += chunk;
             result.executed += chunk;
+            goto chunk_boundary;
+          }
+
+          block_boundary: {
+            // Chaining ablated: the control-transfer uop completed and
+            // set st.pc; commit the block and fall back into the outer
+            // dispatch loop.
+            InstCount done = chunk - budget;
+            st.instret += done;
+            st.csr.minstret += done;
+            st.csr.mcycle += done;
+            result.executed += done;
             goto chunk_boundary;
           }
 
@@ -710,6 +854,7 @@ struct NemuExec
 #undef DISPATCH
 #undef NEXT
 #undef CHAIN
+#undef CHAIN_INDIRECT
 #undef LOAD
 #undef STORE
 #undef BRANCH

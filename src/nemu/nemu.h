@@ -9,17 +9,31 @@
  *    stream so intra-block advance is "+1" and conflict misses cannot
  *    occur (entries are only dropped by whole-cache flushes);
  *  - threaded-code dispatch via computed goto;
- *  - block chaining for direct jumps/branches and a hash list for
- *    indirect jumps;
+ *  - block chaining: direct branches/jumps cache the uop index of their
+ *    resolved successor (patched on first execution, dropped on cache
+ *    flush), superblocks are formed across unconditional direct jumps
+ *    so hot traces are laid out contiguously, and indirect jumps keep a
+ *    one-entry inline target cache backed by the pc hash map;
+ *  - a software load/store fast path: a small direct-mapped
+ *    host-pointer TLB (virtual page -> host page base) filled from
+ *    successful MMU walks, so the common Sv39/bare hit skips
+ *    Mmu::translate and the bus entirely; shot down on sfence.vma,
+ *    satp/mstatus writes, privilege changes and DRAM snapshot restore;
  *  - the zero-register redirect: uops targeting x0 write to a sink
  *    variable instead of checking rd on every instruction;
  *  - host floating point execution (fp::FpBackend::Host);
  *  - pseudo-instruction specialization (e.g. a jal with rd=x0 uses a
  *    link-free handler; li-like addi with rs1=x0 loads the immediate).
  *
+ * Block chaining and the memory fast path can be ablated independently
+ * (setChainingEnabled / setFastPathEnabled) for the Figure 8 speedup
+ * breakdown and the `--nemu-no-chain` / `--nemu-no-fastpath` flags.
+ *
  * NEMU also doubles as the DiffTest REF (paper Section III-B): the
  * Interp::step() path executes through the same uop cache but one
- * instruction at a time with probe extraction.
+ * instruction at a time with probe extraction, and run(1) drives the
+ * chained engine with per-instruction commit granularity for lockstep
+ * co-simulation.
  */
 
 #ifndef MINJIE_NEMU_NEMU_H
@@ -34,13 +48,16 @@
 
 namespace minjie::nemu {
 
-/** Statistics from the uop cache. */
+/** Statistics from the uop cache and the memory fast path. */
 struct NemuStats
 {
     uint64_t uopHits = 0;      ///< dispatches served from the cache
     uint64_t translations = 0; ///< instructions fetched+decoded
     uint64_t flushes = 0;      ///< whole-cache flushes
     uint64_t chainResolves = 0;
+    uint64_t superblockJumps = 0; ///< direct jumps followed at translate
+    uint64_t hostTlbFills = 0;    ///< host-pointer TLB insertions
+    uint64_t hostTlbFlushes = 0;  ///< host-pointer TLB shootdowns
 };
 
 class Nemu : public iss::Interp
@@ -55,10 +72,46 @@ class Nemu : public iss::Interp
          unsigned uopCacheCap = 16384);
 
     /** Fast threaded-code execution of up to @p maxInsts instructions. */
-    iss::RunResult run(InstCount maxInsts);
+    iss::RunResult run(InstCount maxInsts) override;
 
-    /** Drop every uop (fence.i, satp change, cache full). */
+    /** Drop every uop (fence.i, satp change, cache full). Also shoots
+     *  down the host-pointer TLB. */
     void flushUopCache();
+
+    /** Interrupt delivery changes privilege: drop cached translations. */
+    void
+    raiseInterrupt(isa::Irq irq) override
+    {
+        Interp::raiseInterrupt(irq);
+        flushUopCache();
+    }
+
+    /**
+     * Ablation: disable block chaining (successor caching, superblock
+     * formation, the indirect inline cache). Every control transfer
+     * then returns to the hash-map dispatch loop.
+     */
+    void
+    setChainingEnabled(bool on)
+    {
+        chainOn_ = on;
+        flushUopCache();
+    }
+
+    /**
+     * Ablation: disable the memory fast path (host-pointer TLB and the
+     * direct-DRAM M-mode shortcut). Every load/store then funnels
+     * through Mmu::translate and the bus.
+     */
+    void
+    setFastPathEnabled(bool on)
+    {
+        fastPathOn_ = on;
+        hostTlbFlush();
+    }
+
+    bool chainingEnabled() const { return chainOn_; }
+    bool fastPathEnabled() const { return fastPathOn_; }
 
     const NemuStats &stats() const { return stats_; }
 
@@ -78,25 +131,63 @@ class Nemu : public iss::Interp
     isa::Trap stepOnce(iss::ExecInfo *info) override;
 
   private:
-    /** One decoded micro-operation in the trace cache. */
+    /**
+     * One decoded micro-operation in the trace cache: exactly one cache
+     * line of hot state (operand pointers, inlined immediate, chain
+     * edges, the fp fast fields). Branches and direct jumps hold their
+     * absolute taken-target virtual address in @c imm, so the hot path
+     * never touches the cold side.
+     */
     struct Uop
     {
         const void *handler = nullptr;
         uint64_t *rd = nullptr;       ///< destination (sink for x0)
         const uint64_t *rs1 = nullptr;
-        const uint64_t *rs2 = nullptr;
-        int64_t imm = 0;
+        union {
+            const uint64_t *rs2 = nullptr;
+            Addr indirPc;             ///< jalr/ret: inline-cache key
+        };
+        int64_t imm = 0;              ///< immediate / absolute target va
         Addr pc = 0;
-        uint8_t size = 4;
         int32_t next = -1;            ///< chained fallthrough uop
-        int32_t target = -1;          ///< chained taken-target uop
-        isa::DecodedInst di;          ///< full decode for slow handlers
+        int32_t target = -1;          ///< taken-target / indirect-cache uop
+        uint8_t size = 4;
+        uint8_t rm = 0;               ///< fp rounding mode field
+        uint8_t rs3 = 0;              ///< fp fma third operand index
+        isa::Op op = isa::Op::Illegal;
     };
+    static_assert(sizeof(void *) != 8 || sizeof(Uop) == 64,
+                  "hot uop must stay one cache line");
+
+    /** Cold per-uop state, indexed in lockstep with the hot array: the
+     *  full decode for the generic executor and probe extraction. */
+    struct UopCold
+    {
+        isa::DecodedInst di;
+    };
+
+    /**
+     * Host-pointer TLB entry: virtual page -> host base of the backing
+     * DRAM page. Load and store entries are kept in separate ways so a
+     * store entry implies a walk that set the PTE dirty bit.
+     */
+    struct HostTlbEnt
+    {
+        Addr vpn = ~0ULL;
+        uint8_t *host = nullptr;
+    };
+    // Sized so the multi-MB working sets of the memory-bound SPEC
+    // proxies (4MB = 1024 pages) map without conflict: 1024 x 16B =
+    // 16KB per way, far cheaper per hit than the sparse-page hash
+    // lookup it replaces.
+    static constexpr unsigned HTLB_SIZE = 1024;
+    static constexpr Addr HTLB_MASK = HTLB_SIZE - 1;
 
     /** Find (or translate) the uop index for @p pc; -1 on fetch trap. */
     int32_t lookupOrTranslate(Addr pc, isa::Trap &trap);
 
-    /** Translate one basic block starting at @p pc into the cache. */
+    /** Translate one basic block (superblock across direct jumps when
+     *  chaining is on) starting at @p pc into the cache. */
     int32_t translateBlock(Addr pc, isa::Trap &trap);
 
     /** Assign the threaded-code handler for @p di into @p u. */
@@ -110,12 +201,78 @@ class Nemu : public iss::Interp
                (st_.csr.mstatus & isa::MSTATUS_MPRV) == 0;
     }
 
+    /** Install the mapping @p vaddr -> @p paddr's page into one of the
+     *  host-pointer TLB ways. */
+    void
+    hostTlbFillPhys(HostTlbEnt *way, Addr vaddr, Addr paddr,
+                    unsigned size)
+    {
+        if (vaddr & (size - 1))
+            return; // only aligned (single-page) accesses are cached
+        uint8_t *hp = dram_.hostPage(paddr);
+        if (!hp)
+            return; // MMIO or past the end of DRAM
+        HostTlbEnt &e = way[(vaddr >> 12) & HTLB_MASK];
+        e.vpn = vaddr >> 12;
+        e.host = hp;
+        ++stats_.hostTlbFills;
+    }
+
+    /** Install @p vaddr's translation (just completed by the MMU) into
+     *  one of the host-pointer TLB ways. */
+    void
+    hostTlbFill(HostTlbEnt *way, Addr vaddr, unsigned size)
+    {
+        hostTlbFillPhys(way, vaddr, mmu_.lastPaddr(), size);
+    }
+
+    /** Shoot down the host-pointer TLB and restamp the translation
+     *  regime it was filled under. */
+    void
+    hostTlbFlush()
+    {
+        for (auto &e : ldTlb_)
+            e.vpn = ~0ULL;
+        for (auto &e : stTlb_)
+            e.vpn = ~0ULL;
+        ++stats_.hostTlbFlushes;
+        stampRegime();
+    }
+
+    /** Record the translation regime the host TLB contents assume. */
+    void
+    stampRegime()
+    {
+        regimeSatp_ = st_.csr.satp;
+        regimeMstatus_ = st_.csr.mstatus;
+        regimePriv_ = st_.priv;
+        regimeEpoch_ = dram_.epoch();
+    }
+
+    /** True when state mutated outside run() invalidates the TLB. */
+    bool
+    regimeChanged() const
+    {
+        return regimeSatp_ != st_.csr.satp ||
+               regimeMstatus_ != st_.csr.mstatus ||
+               regimePriv_ != st_.priv || regimeEpoch_ != dram_.epoch();
+    }
+
     mem::PhysMem &dram_;
     unsigned cap_;
     std::vector<Uop> uops_;
+    std::vector<UopCold> cold_;
     std::unordered_map<Addr, int32_t> pcMap_;
     NemuStats stats_;
     uint64_t sink_ = 0; ///< zero-register write target
+    bool chainOn_ = true;
+    bool fastPathOn_ = true;
+    HostTlbEnt ldTlb_[HTLB_SIZE];
+    HostTlbEnt stTlb_[HTLB_SIZE];
+    uint64_t regimeSatp_ = 0;
+    uint64_t regimeMstatus_ = 0;
+    isa::Priv regimePriv_ = isa::Priv::M;
+    uint64_t regimeEpoch_ = 0;
     std::function<void(Addr, uint32_t)> blockHook_;
     Addr blockStart_ = ~0ULL; ///< step-path BBV tracking
     uint32_t blockLen_ = 0;

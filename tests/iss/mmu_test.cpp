@@ -200,6 +200,81 @@ TEST_F(MmuTest, FetchCrossingPageBoundary)
     EXPECT_EQ(raw, 0x002081b3u);
 }
 
+TEST_F(MmuTest, FetchCrossingNonContiguousFrames)
+{
+    // The two virtual pages map to physical frames far apart: each
+    // 16-bit half must come from its own frame.
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    map(0x5000, DRAM_BASE + 0x9000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x81b3 & 0xffff);
+    sys.bus.write(DRAM_BASE + 0x9000, 2, 0x0020);
+    // Decoy at the contiguous frame: must NOT be read.
+    sys.bus.write(DRAM_BASE + 0x6000, 2, 0xffff);
+    uint32_t raw;
+    EXPECT_FALSE(mmu.fetch(0x4ffe, raw).pending());
+    EXPECT_EQ(raw, 0x002081b3u);
+}
+
+TEST_F(MmuTest, FetchCrossFaultsOnUnmappedSecondHalf)
+{
+    // Second half lands on an unmapped page: InstPageFault reporting
+    // the *second* page's address, not the instruction pc.
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x81b3 & 0xffff);
+    uint32_t raw;
+    Trap t = mmu.fetch(0x4ffe, raw);
+    EXPECT_EQ(t.cause, Exc::InstPageFault);
+    EXPECT_EQ(t.tval, 0x5000u);
+}
+
+TEST_F(MmuTest, FetchCrossFaultsOnNonExecutableSecondHalf)
+{
+    // Second page mapped readable but not executable: the fetch of the
+    // upper half must fault even though the first half succeeded.
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    map(0x5000, DRAM_BASE + 0x6000, PTE_V | PTE_R | PTE_A | PTE_D);
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x81b3 & 0xffff);
+    sys.bus.write(DRAM_BASE + 0x6000, 2, 0x0020);
+    uint32_t raw;
+    Trap t = mmu.fetch(0x4ffe, raw);
+    EXPECT_EQ(t.cause, Exc::InstPageFault);
+    EXPECT_EQ(t.tval, 0x5000u);
+}
+
+TEST_F(MmuTest, FetchCrossFaultsOnUserSecondHalfFromSupervisor)
+{
+    // Supervisor mode cannot execute user pages (SUM only affects
+    // loads/stores): a U-marked second half page-faults the fetch.
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    map(0x5000, DRAM_BASE + 0x6000,
+        PTE_V | PTE_X | PTE_R | PTE_U | PTE_A | PTE_D);
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x81b3 & 0xffff);
+    sys.bus.write(DRAM_BASE + 0x6000, 2, 0x0020);
+    uint32_t raw;
+    st.priv = Priv::S;
+    st.csr.mstatus |= MSTATUS_SUM; // SUM must not rescue fetches
+    Trap t = mmu.fetch(0x4ffe, raw);
+    EXPECT_EQ(t.cause, Exc::InstPageFault);
+    EXPECT_EQ(t.tval, 0x5000u);
+}
+
+TEST_F(MmuTest, CompressedFetchAtPageEndNeedsNoSecondPage)
+{
+    // A compressed instruction in the last two bytes of a page is
+    // complete: the (unmapped) next page must not be translated.
+    map(0x4000, DRAM_BASE + 0x5000,
+        PTE_V | PTE_X | PTE_R | PTE_A | PTE_D);
+    sys.bus.write(DRAM_BASE + 0x5ffe, 2, 0x4501); // c.li a0, 0
+    uint32_t raw;
+    EXPECT_FALSE(mmu.fetch(0x4ffe, raw).pending());
+    EXPECT_EQ(raw & 0xffffu, 0x4501u);
+}
+
 TEST_F(MmuTest, MprvUsesMppForDataAccess)
 {
     map(0x4000, DRAM_BASE + 0x5000, PTE_V | PTE_R | PTE_A | PTE_D);

@@ -118,6 +118,63 @@ TEST(LightSSS, ReplayChildSeesSnapshotMemoryState)
     std::remove(marker.c_str());
 }
 
+TEST(LightSSS, CycleRewindDoesNotForkImmediately)
+{
+    // Regression: tick() computed `now - lastForkCycle_` unsigned, so
+    // a rewound cycle counter (checkpoint restore, a fresh run reusing
+    // the instance) wrapped to a huge interval and forked on the spot.
+    LightSSS sss({1000, 2, true});
+    sss.tick(0);
+    sss.tick(5000);
+    uint64_t forks = sss.stats().forks;
+    ASSERT_GE(forks, 2u);
+
+    // Rewind: must re-arm, not fork off the wrapped difference.
+    EXPECT_EQ(sss.tick(100), LightSSS::Role::Parent);
+    EXPECT_EQ(sss.stats().forks, forks);
+    // Still within one interval of the re-armed base.
+    EXPECT_EQ(sss.tick(1099), LightSSS::Role::Parent);
+    EXPECT_EQ(sss.stats().forks, forks);
+    // One full interval after the rewound base: forks again.
+    sss.tick(1100);
+    EXPECT_EQ(sss.stats().forks, forks + 1);
+    sss.discardAll();
+}
+
+TEST(LightSSS, ReplayChildRearmsForkInterval)
+{
+    // A woken replay child re-simulates its window, often from a
+    // rewound driver clock. It must not spawn snapshot grandchildren
+    // from the parent's stale fork base while doing so.
+    std::string marker = tmpPath("rearm");
+    std::remove(marker.c_str());
+
+    LightSSS sss({1000, 2, true});
+    const Cycle failAt = 2500;
+    for (Cycle c = 0; c <= failAt; ++c) {
+        auto role = sss.tick(c);
+        if (role == LightSSS::Role::ReplayChild) {
+            uint64_t forksAtWake = sss.stats().forks;
+            // Replay driver restarts its local clock at 0 and ticks
+            // through a window shorter than one interval.
+            for (Cycle r = 0; r < 500; ++r)
+                sss.tick(r);
+            std::ofstream out(marker);
+            out << (sss.stats().forks - forksAtWake);
+            out.close();
+            LightSSS::finishReplay(0);
+        }
+    }
+    ASSERT_TRUE(sss.triggerReplay(failAt));
+    std::ifstream in(marker);
+    ASSERT_TRUE(in.good()) << "replay child did not run";
+    uint64_t childForks = ~0ULL;
+    in >> childForks;
+    EXPECT_EQ(childForks, 0u)
+        << "replay child forked snapshots inside its window";
+    std::remove(marker.c_str());
+}
+
 TEST(LightSSS, NoSnapshotMeansNoReplay)
 {
     LightSSS sss({1'000'000, 2, true});

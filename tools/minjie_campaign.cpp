@@ -46,6 +46,10 @@ usage()
         "  --inject-bug OP[:MASK]\n"
         "                   self-test: corrupt OP's destination on one\n"
         "                   engine (e.g. xor, add:0x80000000)\n"
+        "  --nemu-no-chain  ablate NEMU block chaining in lockstep jobs\n"
+        "  --nemu-no-fastpath\n"
+        "                   ablate NEMU's memory fast path (host TLB +\n"
+        "                   direct DRAM) in lockstep jobs\n"
         "  --no-shrink      skip delta-debugging of failures\n"
         "  --corpus-dir D   write minimized failures into D as .mjc\n"
         "  --out FILE       write the JSON report to FILE (default\n"
@@ -144,6 +148,10 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "bad --inject-bug: %s\n", v);
                 return 2;
             }
+        } else if (a == "--nemu-no-chain") {
+            cfg.lockstep.nemuChain = false;
+        } else if (a == "--nemu-no-fastpath") {
+            cfg.lockstep.nemuFastPath = false;
         } else if (a == "--no-shrink") {
             cfg.shrinkFailures = false;
         } else if (a == "--corpus-dir" && (v = next())) {
