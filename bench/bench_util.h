@@ -44,7 +44,7 @@ geomean(const std::vector<double> &vals)
     double logSum = 0;
     for (double v : vals)
         logSum += std::log(v);
-    return std::exp(logSum / vals.size());
+    return std::exp(logSum / static_cast<double>(vals.size()));
 }
 
 /**
@@ -65,7 +65,7 @@ measureIpc(const xs::CoreConfig &cfg, const wl::Program &prog,
     soc.runUntilInstrs(maxInstrs, maxCycles);
     InstCount di = soc.core(0).perf().instrs - warmInstrs;
     Cycle dc = soc.core(0).perf().cycles - warmCycles;
-    return dc ? static_cast<double>(di) / dc : 0.0;
+    return dc ? static_cast<double>(di) / static_cast<double>(dc) : 0.0;
 }
 
 inline void

@@ -54,9 +54,13 @@ main()
         soc.runUntilInstrs(budget, 400'000'000);
         double pubsIpc =
             static_cast<double>(soc.core(0).perf().instrs - wi) /
-            std::max<Cycle>(1, soc.core(0).perf().cycles - wc);
-        double hiFrac = 100.0 * soc.core(0).perf().highPriorityInsts /
-                        std::max<uint64_t>(1, soc.core(0).perf().instrs);
+            static_cast<double>(
+                std::max<Cycle>(1, soc.core(0).perf().cycles - wc));
+        double hiFrac =
+            100.0 *
+            static_cast<double>(soc.core(0).perf().highPriorityInsts) /
+            static_cast<double>(
+                std::max<uint64_t>(1, soc.core(0).perf().instrs));
 
         double delta = ageIpc > 0 ? 100.0 * (pubsIpc / ageIpc - 1) : 0;
         deltas.push_back(delta);
@@ -70,7 +74,7 @@ main()
         mx = std::max(mx, std::abs(d));
     }
     std::printf("average delta: %+.2f%%  max |delta|: %.2f%%\n",
-                sum / deltas.size(), mx);
+                sum / static_cast<double>(deltas.size()), mx);
     std::printf("(paper: no visible performance deviation; ~5.9%% of "
                 "instructions were high-priority)\n");
     return 0;

@@ -38,7 +38,8 @@ main()
     double expectedBlocking = 0;
     for (unsigned b = 0; b < PerfCounters::READY_BUCKETS; ++b) {
         double frac = p.readySamples
-            ? 100.0 * p.readyHist[b] / p.readySamples
+            ? 100.0 * static_cast<double>(p.readyHist[b]) /
+                  static_cast<double>(p.readySamples)
             : 0.0;
         char label[16];
         if (b == PerfCounters::READY_BUCKETS - 1)

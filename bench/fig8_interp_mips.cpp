@@ -56,7 +56,7 @@ runEngine(const wl::Program &prog, InstCount budget, MakeEngine make)
     Stopwatch sw;
     auto r = engine->run(budget);
     double sec = sw.elapsedSec();
-    return sec > 0 ? r.executed / sec / 1e6 : 0;
+    return sec > 0 ? static_cast<double>(r.executed) / sec / 1e6 : 0;
 }
 
 double

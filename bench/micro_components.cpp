@@ -85,9 +85,9 @@ BM_Decode32(benchmark::State &state)
         isa::DecodedInst di;
         di.op = static_cast<isa::Op>(
             1 + rng.below(static_cast<uint64_t>(isa::Op::NumOps) - 1));
-        di.rd = rng.below(32);
-        di.rs1 = rng.below(32);
-        di.rs2 = rng.below(32);
+        di.rd = static_cast<uint8_t>(rng.below(32));
+        di.rs1 = static_cast<uint8_t>(rng.below(32));
+        di.rs2 = static_cast<uint8_t>(rng.below(32));
         uint32_t w = isa::encode(di);
         words.push_back(w ? w : 0x00000013);
     }

@@ -48,7 +48,8 @@ main()
         sys.dram.write(iss::DRAM_BASE + a, 8, a);
     std::printf("\nsimulated-memory footprint: %zu pages (%.1f MB)\n",
                 sys.dram.allocatedPages(),
-                sys.dram.allocatedPages() * 4096.0 / (1 << 20));
+                static_cast<double>(sys.dram.allocatedPages()) * 4096.0 /
+                    (1 << 20));
 
     // SSS: full-image snapshot cost.
     SssSnapshotter sss(sys.dram);
@@ -73,7 +74,9 @@ main()
                 "SSS full image",
                 static_cast<unsigned long long>(sssUs));
     std::printf("%-24s %9.1fx   (paper: ~6900x)\n", "ratio",
-                forkUs ? static_cast<double>(sssUs) / forkUs : 0.0);
+                forkUs ? static_cast<double>(sssUs) /
+                             static_cast<double>(forkUs)
+                       : 0.0);
     std::printf("(SSS image size: %.1f MB)\n",
                 static_cast<double>(bytes) / (1 << 20));
     return 0;

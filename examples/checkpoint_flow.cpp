@@ -65,10 +65,10 @@ main()
         Cycle warmCycles = soc.core(0).perf().cycles;
         InstCount warmInstrs = soc.core(0).perf().instrs;
         soc.runUntilInstrs(warmInstrs + 50'000, 100'000'000);
-        double cpi = static_cast<double>(soc.core(0).perf().cycles -
-                                         warmCycles) /
-                     std::max<InstCount>(
-                         1, soc.core(0).perf().instrs - warmInstrs);
+        double cpi =
+            static_cast<double>(soc.core(0).perf().cycles - warmCycles) /
+            static_cast<double>(std::max<InstCount>(
+                1, soc.core(0).perf().instrs - warmInstrs));
         cpis.push_back(cpi);
         weights.push_back(cp.weight);
         std::printf("      checkpoint %zu @%9llu insts  weight %5.1f%%  "

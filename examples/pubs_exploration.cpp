@@ -46,10 +46,14 @@ run(IssuePolicy policy, const wl::Program &prog)
     const auto &p = soc.core(0).perf();
     double gt2 = 0;
     for (unsigned b = 3; b < PerfCounters::READY_BUCKETS; ++b)
-        gt2 += p.readyHist[b];
+        gt2 += static_cast<double>(p.readyHist[b]);
     return {p.ipc(),
-            p.readySamples ? 100.0 * gt2 / p.readySamples : 0.0,
-            p.instrs ? 100.0 * p.highPriorityInsts / p.instrs : 0.0};
+            p.readySamples
+                ? 100.0 * gt2 / static_cast<double>(p.readySamples)
+                : 0.0,
+            p.instrs ? 100.0 * static_cast<double>(p.highPriorityInsts) /
+                           static_cast<double>(p.instrs)
+                     : 0.0};
 }
 
 } // namespace

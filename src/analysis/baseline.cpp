@@ -1,0 +1,76 @@
+#include "analysis/baseline.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace minjie::analysis {
+
+bool
+Baseline::load(const std::string &path)
+{
+    entries_.clear();
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return true; // no baseline == empty baseline
+    char line[1024];
+    while (std::fgets(line, sizeof(line), f)) {
+        char rule[64], file[512];
+        uint64_t fp = 0;
+        if (line[0] == '#' || line[0] == '\n')
+            continue;
+        if (std::sscanf(line, "%63s %511s %16" SCNx64, rule, file, &fp) !=
+            3)
+            continue;
+        Entry e;
+        e.ruleId = rule;
+        e.path = file;
+        e.fingerprint = fp;
+        entries_.push_back(std::move(e));
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+Baseline::write(const std::string &path,
+                const std::vector<Finding> &findings)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "# minjie-lint baseline: known findings, one per "
+                    "line. Regenerate with --update-baseline.\n");
+    for (const Finding &fd : findings)
+        std::fprintf(f, "%s %s %016" PRIx64 "  # %s\n", fd.ruleId.c_str(),
+                     fd.path.c_str(), fd.fingerprint(),
+                     fd.snippet.c_str());
+    std::fclose(f);
+    return true;
+}
+
+bool
+Baseline::matches(const Finding &f)
+{
+    uint64_t fp = f.fingerprint();
+    for (Entry &e : entries_) {
+        if (e.fingerprint == fp && e.ruleId == f.ruleId &&
+            e.path == f.path) {
+            e.used = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+Baseline::unusedEntries() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_)
+        if (!e.used)
+            out.push_back(e.ruleId + " " + e.path);
+    return out;
+}
+
+} // namespace minjie::analysis

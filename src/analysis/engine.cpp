@@ -1,0 +1,184 @@
+#include "analysis/engine.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "analysis/baseline.h"
+#include "analysis/suppress.h"
+
+namespace minjie::analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+lintableExtension(const fs::path &p)
+{
+    std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+bool
+hasPrefix(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void
+sortFindings(std::vector<Finding> &v)
+{
+    std::sort(v.begin(), v.end(), [](const Finding &a, const Finding &b) {
+        if (a.path != b.path)
+            return a.path < b.path;
+        if (a.line != b.line)
+            return a.line < b.line;
+        return a.ruleId < b.ruleId;
+    });
+}
+
+} // namespace
+
+std::vector<std::string>
+collectFiles(const EngineConfig &cfg)
+{
+    std::vector<std::string> out;
+    for (const std::string &dir : cfg.scanDirs) {
+        fs::path base = fs::path(cfg.root) / dir;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (fs::recursive_directory_iterator
+                 it(base, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end; it.increment(ec)) {
+            if (ec)
+                break;
+            if (!it->is_regular_file(ec) ||
+                !lintableExtension(it->path()))
+                continue;
+            std::string rel =
+                fs::relative(it->path(), cfg.root, ec).generic_string();
+            bool excluded = false;
+            for (const std::string &px : cfg.excludePrefixes)
+                if (hasPrefix(rel, px)) {
+                    excluded = true;
+                    break;
+                }
+            if (!excluded)
+                out.push_back(std::move(rel));
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Engine::Engine(EngineConfig cfg)
+    : cfg_(std::move(cfg)), rules_(makeDefaultRules())
+{
+}
+
+bool
+Engine::ruleSelected(const Rule &r) const
+{
+    if (cfg_.onlyRules.empty())
+        return true;
+    for (const std::string &id : cfg_.onlyRules)
+        if (r.id() == id)
+            return true;
+    return false;
+}
+
+bool
+Engine::ruleApplies(const Rule &r, const std::string &relPath) const
+{
+    if (cfg_.ignoreScopes)
+        return true;
+    for (const std::string &ex : r.exemptFiles())
+        if (relPath == ex)
+            return false;
+    const auto &scope = r.scope();
+    if (scope.empty())
+        return true;
+    for (const std::string &prefix : scope)
+        if (hasPrefix(relPath, prefix))
+            return true;
+    return false;
+}
+
+void
+Engine::lintFile(const SourceFile &file, std::vector<Finding> &out,
+                 uint64_t &suppressedInline) const
+{
+    LexResult lexed = lex(file);
+    RuleContext ctx{file, lexed.tokens, lexed.comments};
+
+    std::vector<Finding> fileFindings;
+    for (const auto &rule : rules_) {
+        if (!ruleSelected(*rule) || !ruleApplies(*rule, file.path()))
+            continue;
+        rule->run(ctx, fileFindings);
+    }
+
+    // Suppression directives apply to rule findings; malformed
+    // directives become findings themselves (never suppressible).
+    std::vector<Finding> supDiags;
+    Suppressions sup(file.path(), lexed.comments, file, supDiags);
+    for (Finding &f : fileFindings) {
+        if (sup.allows(f.line, f.ruleId))
+            ++suppressedInline;
+        else
+            out.push_back(std::move(f));
+    }
+    bool supRuleWanted = cfg_.onlyRules.empty();
+    for (const std::string &id : cfg_.onlyRules)
+        if (id == "MJ-SUP-001")
+            supRuleWanted = true;
+    if (supRuleWanted)
+        for (Finding &f : supDiags)
+            out.push_back(std::move(f));
+}
+
+EngineResult
+Engine::run() const
+{
+    EngineResult res;
+    Baseline baseline;
+    if (!cfg_.baselinePath.empty())
+        baseline.load(cfg_.baselinePath);
+
+    std::vector<Finding> raw;
+    for (const std::string &rel : collectFiles(cfg_)) {
+        SourceFile file("", "");
+        std::string abs = (fs::path(cfg_.root) / rel).string();
+        if (!SourceFile::load(abs, rel, file))
+            continue;
+        ++res.filesScanned;
+        lintFile(file, raw, res.suppressedInline);
+    }
+
+    for (Finding &f : raw) {
+        if (!cfg_.baselinePath.empty() && baseline.matches(f)) {
+            ++res.suppressedBaseline;
+            continue;
+        }
+        res.findings.push_back(std::move(f));
+    }
+
+    sortFindings(res.findings);
+    res.staleBaseline = baseline.unusedEntries();
+    return res;
+}
+
+EngineResult
+Engine::runOnFile(const SourceFile &file) const
+{
+    EngineResult res;
+    res.filesScanned = 1;
+    lintFile(file, res.findings, res.suppressedInline);
+    sortFindings(res.findings);
+    return res;
+}
+
+} // namespace minjie::analysis

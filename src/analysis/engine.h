@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The lint engine: walks the tree, tokenizes each source file, runs
+ * every rule in scope, applies inline suppressions and the baseline,
+ * and returns the surviving findings.
+ */
+
+#ifndef MINJIE_ANALYSIS_ENGINE_H
+#define MINJIE_ANALYSIS_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/rule.h"
+
+namespace minjie::analysis {
+
+struct EngineConfig
+{
+    std::string root;                  ///< repo root (absolute or cwd-rel)
+    std::vector<std::string> scanDirs = {"src", "tools"};
+    std::vector<std::string> excludePrefixes; ///< repo-relative prefixes
+    std::string baselinePath;          ///< empty = no baseline
+    std::vector<std::string> onlyRules; ///< restrict to these ids
+    bool ignoreScopes = false; ///< run every rule on every file (tests)
+};
+
+struct EngineResult
+{
+    std::vector<Finding> findings;      ///< unsuppressed, sorted
+    uint64_t filesScanned = 0;
+    uint64_t suppressedInline = 0;
+    uint64_t suppressedBaseline = 0;
+    std::vector<std::string> staleBaseline; ///< unused baseline entries
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineConfig cfg);
+
+    /** Scan the configured tree. */
+    EngineResult run() const;
+
+    /** Lint a single in-memory file (unit tests / fixtures). */
+    EngineResult runOnFile(const SourceFile &file) const;
+
+    const std::vector<std::unique_ptr<Rule>> &rules() const
+    {
+        return rules_;
+    }
+
+  private:
+    bool ruleSelected(const Rule &r) const;
+    bool ruleApplies(const Rule &r, const std::string &relPath) const;
+    void lintFile(const SourceFile &file, std::vector<Finding> &out,
+                  uint64_t &suppressedInline) const;
+
+    EngineConfig cfg_;
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/** Repo-relative paths of every lintable file under cfg's scan dirs,
+ *  sorted so reports are stable across filesystems. */
+std::vector<std::string> collectFiles(const EngineConfig &cfg);
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_ENGINE_H

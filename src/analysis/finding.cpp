@@ -1,0 +1,32 @@
+#include "analysis/finding.h"
+
+#include <cctype>
+
+namespace minjie::analysis {
+
+uint64_t
+fnv1a(const std::string &s, uint64_t seed)
+{
+    uint64_t h = seed;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+uint64_t
+Finding::fingerprint() const
+{
+    std::string norm;
+    norm.reserve(snippet.size());
+    for (char c : snippet)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            norm += c;
+    uint64_t h = fnv1a(ruleId);
+    h = fnv1a(path, h);
+    h = fnv1a(norm, h);
+    return h;
+}
+
+} // namespace minjie::analysis

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * A single lint finding plus its stable fingerprint.
+ */
+
+#ifndef MINJIE_ANALYSIS_FINDING_H
+#define MINJIE_ANALYSIS_FINDING_H
+
+#include <cstdint>
+#include <string>
+
+namespace minjie::analysis {
+
+struct Finding
+{
+    std::string ruleId;  ///< e.g. "MJ-DET-001"
+    std::string path;    ///< repo-relative, '/'-separated
+    uint32_t line = 0;   ///< 1-based
+    uint32_t col = 0;    ///< 1-based
+    std::string message;
+    std::string snippet; ///< source line, whitespace-trimmed
+
+    /**
+     * Line-number-independent identity used by the baseline file: a
+     * finding survives unrelated edits above it as long as the rule,
+     * file, and (whitespace-normalized) flagged line are unchanged.
+     */
+    uint64_t fingerprint() const;
+};
+
+/** FNV-1a, the repo-wide cheap stable hash. */
+uint64_t fnv1a(const std::string &s, uint64_t seed = 0xcbf29ce484222325ULL);
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_FINDING_H

@@ -1,0 +1,200 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace minjie::analysis {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character operators, longest first within each head. */
+const char *const PUNCT3[] = {"<<=", ">>=", "...", "->*", "<=>"};
+const char *const PUNCT2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                              ">=", "==", "!=", "&&", "||", "+=", "-=",
+                              "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+} // namespace
+
+LexResult
+lex(const SourceFile &file)
+{
+    LexResult out;
+    std::string_view s = file.text();
+    size_t i = 0;
+    const size_t n = s.size();
+    bool lineHasToken = false; ///< non-comment content seen on this line
+
+    auto push = [&](Tok kind, size_t begin, size_t end) {
+        Token t;
+        t.kind = kind;
+        t.text = s.substr(begin, end - begin);
+        t.line = file.lineOf(begin);
+        t.col = file.colOf(begin);
+        out.tokens.push_back(t);
+        lineHasToken = true;
+    };
+
+    auto skipString = [&](size_t from) -> size_t {
+        // from points at the opening quote.
+        char quote = s[from];
+        size_t j = from + 1;
+        while (j < n && s[j] != quote) {
+            if (s[j] == '\\' && j + 1 < n)
+                ++j;
+            ++j;
+        }
+        return j < n ? j + 1 : n;
+    };
+
+    while (i < n) {
+        char c = s[i];
+
+        if (c == '\n') {
+            lineHasToken = false;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+            size_t end = s.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            Comment cm;
+            cm.text = s.substr(i + 2, end - i - 2);
+            cm.line = file.lineOf(i);
+            cm.ownLine = !lineHasToken;
+            out.comments.push_back(cm);
+            i = end;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+            size_t end = s.find("*/", i + 2);
+            size_t stop = end == std::string_view::npos ? n : end;
+            Comment cm;
+            cm.text = s.substr(i + 2, stop - i - 2);
+            cm.line = file.lineOf(i);
+            cm.ownLine = !lineHasToken;
+            out.comments.push_back(cm);
+            i = end == std::string_view::npos ? n : end + 2;
+            continue;
+        }
+
+        // #include directives are swallowed whole: the <header> /
+        // "header" operand must not leak identifiers into the stream.
+        if (c == '#' && !lineHasToken) {
+            size_t j = i + 1;
+            while (j < n && (s[j] == ' ' || s[j] == '\t'))
+                ++j;
+            if (s.substr(j, 7) == "include") {
+                while (i < n && s[i] != '\n') {
+                    if (s[i] == '\\' && i + 1 < n && s[i + 1] == '\n')
+                        ++i; // line continuation
+                    ++i;
+                }
+                continue;
+            }
+            push(Tok::Punct, i, i + 1);
+            ++i;
+            continue;
+        }
+
+        // String / char literals (including raw strings).
+        if (c == '"') {
+            size_t end = skipString(i);
+            push(Tok::Str, i, end);
+            i = end;
+            continue;
+        }
+        if (c == '\'') {
+            size_t end = skipString(i);
+            push(Tok::Char, i, end);
+            i = end;
+            continue;
+        }
+
+        if (isIdentStart(c)) {
+            size_t j = i;
+            while (j < n && isIdentChar(s[j]))
+                ++j;
+            // Raw string: identifier ending in R directly before '"'.
+            if (j < n && s[j] == '"' && s[j - 1] == 'R') {
+                size_t d = j + 1;
+                while (d < n && s[d] != '(' && s[d] != '"' &&
+                       d - j - 1 < 16)
+                    ++d;
+                std::string delim(s.substr(j + 1, d - j - 1));
+                std::string closer = ")" + delim + "\"";
+                size_t end = s.find(closer, d);
+                end = end == std::string_view::npos ? n
+                                                    : end + closer.size();
+                push(Tok::Str, i, end);
+                i = end;
+                continue;
+            }
+            push(Tok::Ident, i, j);
+            i = j;
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+            size_t j = i;
+            while (j < n) {
+                char d = s[j];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    ++j;
+                    continue;
+                }
+                // Exponent sign: 1e+3, 0x1p-4.
+                if ((d == '+' || d == '-') && j > i &&
+                    (s[j - 1] == 'e' || s[j - 1] == 'E' ||
+                     s[j - 1] == 'p' || s[j - 1] == 'P')) {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            push(Tok::Number, i, j);
+            i = j;
+            continue;
+        }
+
+        // Punctuation, maximal munch.
+        size_t len = 1;
+        for (const char *p : PUNCT3)
+            if (s.substr(i, 3) == p) {
+                len = 3;
+                break;
+            }
+        if (len == 1)
+            for (const char *p : PUNCT2)
+                if (s.substr(i, 2) == p) {
+                    len = 2;
+                    break;
+                }
+        push(Tok::Punct, i, i + len);
+        i += len;
+    }
+
+    return out;
+}
+
+} // namespace minjie::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Token stream for the lint rules.
+ *
+ * A deliberately small C++ lexer: it understands comments (collected
+ * separately so suppression directives can be parsed), string / char
+ * literals including raw strings, identifiers, numbers, and
+ * maximal-munch punctuation. `#include` directives are swallowed
+ * whole so header names never masquerade as identifiers; every other
+ * preprocessor line is lexed normally, which keeps macro bodies
+ * visible to the rules.
+ */
+
+#ifndef MINJIE_ANALYSIS_LEXER_H
+#define MINJIE_ANALYSIS_LEXER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace minjie::analysis {
+
+enum class Tok : uint8_t {
+    Ident,  ///< identifier or keyword
+    Number, ///< numeric literal (integer or floating)
+    Str,    ///< string literal, text includes quotes
+    Char,   ///< character literal
+    Punct,  ///< operator / punctuation, maximal munch
+};
+
+struct Token
+{
+    Tok kind = Tok::Punct;
+    std::string_view text; ///< view into the SourceFile text
+    uint32_t line = 0;     ///< 1-based
+    uint32_t col = 0;      ///< 1-based
+
+    bool is(std::string_view s) const { return text == s; }
+    bool isIdent(std::string_view s) const
+    {
+        return kind == Tok::Ident && text == s;
+    }
+};
+
+/** A comment, kept out of the token stream. */
+struct Comment
+{
+    std::string_view text; ///< without the // or slash-star markers
+    uint32_t line = 0;     ///< line the comment starts on
+    bool ownLine = false;  ///< nothing but whitespace precedes it
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/** Tokenize @p file. Never fails: unrecognized bytes become Punct. */
+LexResult lex(const SourceFile &file);
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_LEXER_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Lint rule interface and the default registry.
+ *
+ * Rules are token-level invariant checks tuned to this repository (see
+ * README "Static analysis & sanitizers"). Each rule carries a path
+ * scope: the directories whose contract it enforces. Four families:
+ *
+ *   MJ-DET-*  determinism of the campaign / difftest / report paths
+ *   MJ-PRB-*  architectural-state writes must flow through accessors
+ *   MJ-FRK-*  fork-safety between LightSSS snapshot points
+ *   MJ-LAY-*  size/alignment claims must be static_assert-backed
+ *   MJ-SUP-*  hygiene of the suppression mechanism itself
+ */
+
+#ifndef MINJIE_ANALYSIS_RULE_H
+#define MINJIE_ANALYSIS_RULE_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/lexer.h"
+#include "analysis/source.h"
+
+namespace minjie::analysis {
+
+/** Everything a rule may inspect for one file. */
+struct RuleContext
+{
+    const SourceFile &file;
+    const std::vector<Token> &tokens;
+    const std::vector<Comment> &comments;
+};
+
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    virtual std::string_view id() const = 0;
+
+    /** One-line description rendered into SARIF rule metadata. */
+    virtual std::string_view summary() const = 0;
+
+    /** Repo-relative directory prefixes this rule enforces. Empty
+     *  means repo-wide. */
+    virtual const std::vector<std::string> &scope() const = 0;
+
+    /** Files inside scope() the rule nevertheless ignores (the
+     *  approved accessor/trap-machinery homes). */
+    virtual const std::vector<std::string> &exemptFiles() const
+    {
+        static const std::vector<std::string> none;
+        return none;
+    }
+
+    virtual void run(const RuleContext &ctx,
+                     std::vector<Finding> &out) const = 0;
+
+  protected:
+    /** Emit a finding for the token at @p tok. */
+    void report(const RuleContext &ctx, const Token &tok,
+                std::string message, std::vector<Finding> &out) const;
+};
+
+/** The full rule set, in stable id order. */
+std::vector<std::unique_ptr<Rule>> makeDefaultRules();
+
+// Family constructors (used directly by the per-rule tests).
+std::vector<std::unique_ptr<Rule>> makeDeterminismRules();
+std::vector<std::unique_ptr<Rule>> makeProbeRules();
+std::vector<std::unique_ptr<Rule>> makeForkRules();
+std::vector<std::unique_ptr<Rule>> makeLayoutRules();
+
+// ---- shared token helpers (defined in rules_util.cpp) ----
+
+/** True when tokens[i] is a plain function call of one of @p names:
+ *  an identifier directly followed by '(' and not preceded by '.',
+ *  '->', or '::' (member / qualified calls are different functions). */
+bool isPlainCall(const std::vector<Token> &toks, size_t i,
+                 const std::vector<std::string_view> &names);
+
+/** Index of the matching close for the bracket at @p open ('(', '[',
+ *  '{', or '<' treated as a template-argument list), or toks.size(). */
+size_t matchBracket(const std::vector<Token> &toks, size_t open);
+
+/** True when the token is one of the mutating assignment operators
+ *  (=, +=, ..., <<=) — not ==, <=, >=. */
+bool isAssignOp(const Token &tok);
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_RULE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Internal convenience base for concrete rules: stores id, summary,
+ * scope, and exemptions so rule classes only implement run().
+ */
+
+#ifndef MINJIE_ANALYSIS_RULES_IMPL_H
+#define MINJIE_ANALYSIS_RULES_IMPL_H
+
+#include <utility>
+
+#include "analysis/rule.h"
+
+namespace minjie::analysis {
+
+class BasicRule : public Rule
+{
+  public:
+    BasicRule(std::string id, std::string summary,
+              std::vector<std::string> scope,
+              std::vector<std::string> exempt = {})
+        : id_(std::move(id)), summary_(std::move(summary)),
+          scope_(std::move(scope)), exempt_(std::move(exempt))
+    {
+    }
+
+    std::string_view id() const override { return id_; }
+    std::string_view summary() const override { return summary_; }
+    const std::vector<std::string> &scope() const override
+    {
+        return scope_;
+    }
+    const std::vector<std::string> &exemptFiles() const override
+    {
+        return exempt_;
+    }
+
+  private:
+    std::string id_;
+    std::string summary_;
+    std::vector<std::string> scope_;
+    std::vector<std::string> exempt_;
+};
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_RULES_IMPL_H

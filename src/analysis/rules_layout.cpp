@@ -1,0 +1,144 @@
+/**
+ * @file
+ * MJ-LAY-*: size/alignment claims must be static_assert-backed.
+ *
+ * The NEMU hot path depends on layout facts (the 64-byte hot Uop of
+ * PR 2); a struct that requests an alignment or packing without a
+ * static_assert nearby will silently drift when a field is added.
+ */
+
+#include "analysis/rules_impl.h"
+
+namespace minjie::analysis {
+
+namespace {
+
+const std::vector<std::string> LAY_SCOPE = {"src/", "tools/"};
+
+class UncheckedLayout final : public BasicRule
+{
+  public:
+    UncheckedLayout()
+        : BasicRule("MJ-LAY-001",
+                    "alignas/packed struct without a static_assert "
+                    "pinning its size or alignment",
+                    LAY_SCOPE)
+    {
+    }
+
+    void
+    run(const RuleContext &ctx, std::vector<Finding> &out) const override
+    {
+        const auto &toks = ctx.tokens;
+
+        // Names covered by a static_assert(sizeof(...)/alignof(...))
+        // anywhere in this file.
+        std::vector<std::string_view> asserted;
+        for (size_t i = 0; i + 1 < toks.size(); ++i) {
+            if (!toks[i].isIdent("static_assert") || !toks[i + 1].is("("))
+                continue;
+            size_t close = matchBracket(toks, i + 1);
+            bool layoutClaim = false;
+            for (size_t j = i + 2; j < close && j < toks.size(); ++j)
+                if (toks[j].isIdent("sizeof") ||
+                    toks[j].isIdent("alignof")) {
+                    layoutClaim = true;
+                    break;
+                }
+            if (!layoutClaim)
+                continue;
+            for (size_t j = i + 2; j < close && j < toks.size(); ++j)
+                if (toks[j].kind == Tok::Ident)
+                    asserted.push_back(toks[j].text);
+        }
+
+        auto covered = [&](std::string_view name) {
+            for (std::string_view a : asserted)
+                if (a == name)
+                    return true;
+            return false;
+        };
+
+        for (size_t i = 0; i < toks.size(); ++i) {
+            bool isAlign = toks[i].isIdent("alignas");
+            bool isPacked = toks[i].isIdent("packed");
+            if (!isAlign && !isPacked)
+                continue;
+
+            // Find the struct/class this attribute decorates: scan
+            // back a short window for the keyword, then forward from
+            // it for the first plain identifier that is the tag name.
+            std::string_view name;
+            size_t kw = 0;
+            bool haveKw = false;
+            for (size_t back = 0; back < 12 && back <= i; ++back) {
+                size_t j = i - back;
+                if (toks[j].isIdent("struct") ||
+                    toks[j].isIdent("class")) {
+                    kw = j;
+                    haveKw = true;
+                    break;
+                }
+                if (toks[j].is(";") || toks[j].is("}"))
+                    break;
+            }
+            if (!haveKw)
+                continue; // alignas on a variable / array: out of scope
+            int depth = 0;
+            for (size_t j = kw + 1; j < toks.size() && j < kw + 24; ++j) {
+                if (toks[j].is("(") || toks[j].is("["))
+                    ++depth;
+                else if (toks[j].is(")") || toks[j].is("]"))
+                    --depth;
+                else if (depth == 0 && toks[j].kind == Tok::Ident &&
+                         !toks[j].isIdent("alignas") &&
+                         !toks[j].isIdent("packed") &&
+                         !toks[j].isIdent("gnu") &&
+                         !toks[j].isIdent("__attribute__") &&
+                         !toks[j].isIdent("final")) {
+                    name = toks[j].text;
+                    break;
+                } else if (depth == 0 &&
+                           (toks[j].is("{") || toks[j].is(";"))) {
+                    break;
+                }
+            }
+            if (name.empty() || covered(name))
+                continue;
+            report(ctx, toks[i],
+                   "struct " + std::string(name) +
+                       " requests a layout (alignas/packed) but no "
+                       "static_assert in this file pins sizeof/alignof(" +
+                       std::string(name) +
+                       "); layout drift would be silent",
+                   out);
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeLayoutRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<UncheckedLayout>());
+    return rules;
+}
+
+std::vector<std::unique_ptr<Rule>>
+makeDefaultRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    for (auto &r : makeDeterminismRules())
+        rules.push_back(std::move(r));
+    for (auto &r : makeProbeRules())
+        rules.push_back(std::move(r));
+    for (auto &r : makeForkRules())
+        rules.push_back(std::move(r));
+    for (auto &r : makeLayoutRules())
+        rules.push_back(std::move(r));
+    return rules;
+}
+
+} // namespace minjie::analysis

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MJ-PRB-*: architectural-state writes must flow through the approved
+ * accessors so every DiffTest-compared bit has a single choke point
+ * (the DRAV probes of paper Section III-B3 hang off these accessors).
+ *
+ * Approved homes — exempt from the rules because they ARE the
+ * accessors / trap machinery:
+ *   src/iss/arch_state.h   (setX / setF)
+ *   src/iss/arch_state.cpp (takeTrap / takeInterrupt sequencing)
+ *   src/iss/csrfile.h,.cpp (CsrFile::write + named accessors)
+ */
+
+#include "analysis/rules_impl.h"
+
+namespace minjie::analysis {
+
+namespace {
+
+const std::vector<std::string> PRB_SCOPE = {
+    "src/iss/",
+    "src/nemu/",
+    "src/difftest/",
+};
+
+const std::vector<std::string> PRB_EXEMPT = {
+    "src/iss/arch_state.h",
+    "src/iss/arch_state.cpp",
+    "src/iss/csrfile.h",
+    "src/iss/csrfile.cpp",
+};
+
+/** CSR fields whose values DiffTest compares verbatim; the cycle /
+ *  instret counters are excluded (they have dedicated diff-rules and
+ *  are legitimately bumped inline on hot paths). */
+const std::vector<std::string_view> PROTECTED_CSRS = {
+    "mstatus", "mepc",     "mcause", "mtval",   "mtvec", "mscratch",
+    "mie",     "medeleg",  "mideleg", "sepc",   "scause", "stval",
+    "stvec",   "sscratch", "satp",    "fflags", "frm",    "pmpcfg0",
+    "pmpaddr0"};
+
+/**
+ * Direct store through a register-file member: `<expr>.x[i] = v`,
+ * `->f[i] |= v`, or a post-increment after the subscript.
+ */
+class RegfileDirectStore : public BasicRule
+{
+  public:
+    RegfileDirectStore(std::string id, std::string_view member,
+                       std::string accessor)
+        : BasicRule(std::move(id),
+                    "direct " + std::string(member) +
+                        "-regfile store bypasses ArchState::" + accessor,
+                    PRB_SCOPE, PRB_EXEMPT),
+          member_(member), accessor_(std::move(accessor))
+    {
+    }
+
+    void
+    run(const RuleContext &ctx, std::vector<Finding> &out) const override
+    {
+        const auto &toks = ctx.tokens;
+        for (size_t i = 0; i + 2 < toks.size(); ++i) {
+            if (!(toks[i].is(".") || toks[i].is("->")))
+                continue;
+            if (!toks[i + 1].isIdent(member_) || !toks[i + 2].is("["))
+                continue;
+            size_t close = matchBracket(toks, i + 2);
+            if (close + 1 >= toks.size())
+                continue;
+            const Token &next = toks[close + 1];
+            if (isAssignOp(next) || next.is("++") || next.is("--"))
+                report(ctx, toks[i + 1],
+                       "direct store to ArchState::" +
+                           std::string(member_) +
+                           "[] bypasses " + accessor_ +
+                           " (x0 pinning and the probe choke point); "
+                           "use the accessor",
+                       out);
+        }
+    }
+
+  private:
+    std::string_view member_;
+    std::string accessor_;
+};
+
+/** Direct store to a DiffTest-compared CsrFile field outside the CSR
+ *  write-legalization / trap machinery. */
+class CsrDirectStore final : public BasicRule
+{
+  public:
+    CsrDirectStore()
+        : BasicRule("MJ-PRB-003",
+                    "direct CSR field store bypasses CsrFile's WARL "
+                    "legalization / named accessors",
+                    PRB_SCOPE, PRB_EXEMPT)
+    {
+    }
+
+    void
+    run(const RuleContext &ctx, std::vector<Finding> &out) const override
+    {
+        const auto &toks = ctx.tokens;
+        for (size_t i = 0; i + 3 < toks.size(); ++i) {
+            if (!toks[i].isIdent("csr"))
+                continue;
+            if (!toks[i + 1].is("."))
+                continue;
+            const Token &field = toks[i + 2];
+            if (field.kind != Tok::Ident)
+                continue;
+            bool protect = false;
+            for (std::string_view f : PROTECTED_CSRS)
+                if (field.text == f) {
+                    protect = true;
+                    break;
+                }
+            if (!protect)
+                continue;
+            const Token &next = toks[i + 3];
+            if (isAssignOp(next) || next.is("++") || next.is("--"))
+                report(ctx, field,
+                       "direct store to CsrFile::" +
+                           std::string(field.text) +
+                           " skips WARL legalization and the accessor "
+                           "audit trail; use CsrFile::write() or a "
+                           "named accessor",
+                       out);
+        }
+    }
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<Rule>>
+makeProbeRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<RegfileDirectStore>(
+        "MJ-PRB-001", "x", "setX"));
+    rules.push_back(std::make_unique<RegfileDirectStore>(
+        "MJ-PRB-002", "f", "setF"));
+    rules.push_back(std::make_unique<CsrDirectStore>());
+    return rules;
+}
+
+} // namespace minjie::analysis

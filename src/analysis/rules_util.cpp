@@ -1,0 +1,84 @@
+#include "analysis/rule.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace minjie::analysis {
+
+void
+Rule::report(const RuleContext &ctx, const Token &tok, std::string message,
+             std::vector<Finding> &out) const
+{
+    Finding f;
+    f.ruleId = std::string(id());
+    f.path = ctx.file.path();
+    f.line = tok.line;
+    f.col = tok.col;
+    f.message = std::move(message);
+    std::string_view lt = ctx.file.lineText(tok.line);
+    size_t b = lt.find_first_not_of(" \t");
+    size_t e = lt.find_last_not_of(" \t\r");
+    if (b != std::string_view::npos)
+        f.snippet = std::string(lt.substr(b, e - b + 1));
+    out.push_back(std::move(f));
+}
+
+bool
+isPlainCall(const std::vector<Token> &toks, size_t i,
+            const std::vector<std::string_view> &names)
+{
+    if (toks[i].kind != Tok::Ident)
+        return false;
+    if (std::find(names.begin(), names.end(), toks[i].text) == names.end())
+        return false;
+    if (i + 1 >= toks.size() || !toks[i + 1].is("("))
+        return false;
+    if (i > 0) {
+        const Token &prev = toks[i - 1];
+        if (prev.is(".") || prev.is("->") || prev.is("::"))
+            return false;
+        // `void time(...)` / `#define time(...)`: a declaration or
+        // macro definition, not a call site. Keywords that legally
+        // precede a call expression stay callable.
+        if (prev.kind == Tok::Ident && !prev.is("return") &&
+            !prev.is("co_return") && !prev.is("co_await") &&
+            !prev.is("else") && !prev.is("do") && !prev.is("throw") &&
+            !prev.is("case"))
+            return false;
+    }
+    return true;
+}
+
+size_t
+matchBracket(const std::vector<Token> &toks, size_t open)
+{
+    std::string_view o = toks[open].text;
+    std::string_view c = o == "(" ? ")" : o == "[" ? "]"
+                                  : o == "{" ? "}" : ">";
+    int depth = 0;
+    for (size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == o)
+            ++depth;
+        else if (toks[i].text == c && --depth == 0)
+            return i;
+        // A template-argument scan that runs into a statement end has
+        // misparsed a comparison; give up.
+        else if (o == "<" && (toks[i].is(";") || toks[i].is("{")))
+            return toks.size();
+    }
+    return toks.size();
+}
+
+bool
+isAssignOp(const Token &tok)
+{
+    if (tok.kind != Tok::Punct)
+        return false;
+    static const std::string_view ops[] = {"=",  "+=", "-=", "*=",
+                                           "/=", "%=", "&=", "|=",
+                                           "^=", "<<=", ">>="};
+    return std::find(std::begin(ops), std::end(ops), tok.text) !=
+           std::end(ops);
+}
+
+} // namespace minjie::analysis

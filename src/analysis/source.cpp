@@ -1,0 +1,62 @@
+#include "analysis/source.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace minjie::analysis {
+
+SourceFile::SourceFile(std::string relPath, std::string text)
+    : relPath_(std::move(relPath)), text_(std::move(text))
+{
+    lineStarts_.push_back(0);
+    for (size_t i = 0; i < text_.size(); ++i)
+        if (text_[i] == '\n')
+            lineStarts_.push_back(i + 1);
+}
+
+bool
+SourceFile::load(const std::string &absPath, const std::string &relPath,
+                 SourceFile &out)
+{
+    FILE *f = std::fopen(absPath.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    out = SourceFile(relPath, std::move(text));
+    return true;
+}
+
+uint32_t
+SourceFile::lineOf(size_t offset) const
+{
+    auto it = std::upper_bound(lineStarts_.begin(), lineStarts_.end(),
+                               offset);
+    return static_cast<uint32_t>(it - lineStarts_.begin());
+}
+
+uint32_t
+SourceFile::colOf(size_t offset) const
+{
+    uint32_t line = lineOf(offset);
+    return static_cast<uint32_t>(offset - lineStarts_[line - 1] + 1);
+}
+
+std::string_view
+SourceFile::lineText(uint32_t line) const
+{
+    if (line == 0 || line > lineStarts_.size())
+        return {};
+    size_t begin = lineStarts_[line - 1];
+    size_t end = line < lineStarts_.size() ? lineStarts_[line] - 1
+                                           : text_.size();
+    if (end > begin && text_[end - 1] == '\r')
+        --end;
+    return std::string_view(text_).substr(begin, end - begin);
+}
+
+} // namespace minjie::analysis

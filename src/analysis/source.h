@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A source file loaded for analysis: raw text plus a line table so
+ * byte offsets translate to 1-based line/column positions.
+ */
+
+#ifndef MINJIE_ANALYSIS_SOURCE_H
+#define MINJIE_ANALYSIS_SOURCE_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minjie::analysis {
+
+class SourceFile
+{
+  public:
+    /** Wrap @p text as file @p relPath (repo-relative, '/'-separated). */
+    SourceFile(std::string relPath, std::string text);
+
+    /** Load @p absPath from disk. @return false on I/O error. */
+    static bool load(const std::string &absPath, const std::string &relPath,
+                     SourceFile &out);
+
+    const std::string &path() const { return relPath_; }
+    std::string_view text() const { return text_; }
+
+    /** 1-based line number containing byte @p offset. */
+    uint32_t lineOf(size_t offset) const;
+
+    /** 1-based column of byte @p offset within its line. */
+    uint32_t colOf(size_t offset) const;
+
+    /** Text of 1-based line @p line, without the newline. */
+    std::string_view lineText(uint32_t line) const;
+
+    uint32_t lineCount() const
+    {
+        return static_cast<uint32_t>(lineStarts_.size());
+    }
+
+  private:
+    std::string relPath_;
+    std::string text_;
+    std::vector<size_t> lineStarts_; ///< byte offset of each line start
+};
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_SOURCE_H

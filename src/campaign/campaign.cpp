@@ -170,7 +170,8 @@ runCampaign(const CampaignConfig &cfg)
     }
 
     rep.jobsPerSec =
-        rep.elapsedSec > 0 ? rep.jobs / rep.elapsedSec : 0;
+        rep.elapsedSec > 0 ? static_cast<double>(rep.jobs) / rep.elapsedSec
+                           : 0;
     rep.mips = rep.elapsedSec > 0
                    ? static_cast<double>(totalSteps) / rep.elapsedSec / 1e6
                    : 0;

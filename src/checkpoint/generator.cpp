@@ -30,7 +30,8 @@ generateCheckpoints(const workload::Program &prog,
         bbv.finish();
         out.totalInsts = r.executed;
         double sec = sw.elapsedSec();
-        out.profileMips = sec > 0 ? r.executed / sec / 1e6 : 0;
+        out.profileMips =
+            sec > 0 ? static_cast<double>(r.executed) / sec / 1e6 : 0;
     }
 
     // ---- SimPoint clustering ----
@@ -64,7 +65,8 @@ generateCheckpoints(const workload::Program &prog,
         out.checkpoints[cpIdx] = std::move(cp);
     }
     double sec = sw.elapsedSec();
-    out.generateMips = sec > 0 ? executed / sec / 1e6 : 0;
+    out.generateMips =
+        sec > 0 ? static_cast<double>(executed) / sec / 1e6 : 0;
     return out;
 }
 

@@ -136,7 +136,8 @@ simpoint(const std::vector<Bbv> &bbvs, unsigned maxK, unsigned dims,
         }
         if (best >= 0) {
             sp.intervals.push_back(static_cast<unsigned>(best));
-            sp.weights.push_back(static_cast<double>(size) / pts.size());
+            sp.weights.push_back(static_cast<double>(size) /
+                                 static_cast<double>(pts.size()));
         }
     }
     return sp;

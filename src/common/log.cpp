@@ -25,14 +25,24 @@ Logger::log(LogLevel level, const char *fmt, ...)
     if (level < level_)
         return;
     static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
-    FILE *out = out_ ? out_ : stderr;
-    std::fprintf(out, "[%s] ", names[static_cast<int>(level)]);
+
+    // Format the whole line first and emit it with ONE stdio call:
+    // concurrent campaign workers then interleave whole lines, never
+    // fragments (stdio locks per call, not per line).
+    char body[960];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(out, fmt, args);
+    std::vsnprintf(body, sizeof(body), fmt, args);
     va_end(args);
-    std::fputc('\n', out);
-    ++lines_;
+
+    FILE *out = out_ ? out_ : stderr;
+    std::fprintf(out, "[%s] %s\n", names[static_cast<int>(level)], body);
+    // stderr is unbuffered; a file sink is not. Flush it so no bytes
+    // pend across a LightSSS fork(), where they would be written by
+    // both the parent and the snapshot child (lint MJ-FRK-003).
+    if (out != stderr)
+        std::fflush(out);
+    lines_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

@@ -10,6 +10,7 @@
 #ifndef MINJIE_COMMON_LOG_H
 #define MINJIE_COMMON_LOG_H
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
@@ -40,13 +41,18 @@ class Logger
         __attribute__((format(printf, 3, 4)));
 
     /** Number of log lines emitted (used by tests). */
-    uint64_t linesEmitted() const { return lines_; }
+    uint64_t
+    linesEmitted() const
+    {
+        return lines_.load(std::memory_order_relaxed);
+    }
 
   private:
     Logger() = default;
     LogLevel level_ = LogLevel::Warn;
     FILE *out_ = nullptr;
-    uint64_t lines_ = 0;
+    // Atomic: campaign worker threads log through the one instance.
+    std::atomic<uint64_t> lines_{0};
 };
 
 #define MJ_DEBUG(...) \

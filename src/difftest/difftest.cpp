@@ -148,7 +148,7 @@ DiffTest::onCommit(HartId hart, const CommitProbe &probe)
         if (probe.rdWritten)
             refSt.setX(probe.rd, probe.rdValue);
         if (probe.fpWritten)
-            refSt.f[probe.rd] = probe.rdValue;
+            refSt.setF(probe.rd, probe.rdValue);
         ++refSt.instret;
         ++refSt.csr.minstret;
         ++refSt.csr.mcycle;

@@ -31,6 +31,7 @@
 #ifndef MINJIE_DIFFTEST_DIFFTEST_H
 #define MINJIE_DIFFTEST_DIFFTEST_H
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -168,7 +169,7 @@ class DiffTest
     DivergenceReport div_;
     std::vector<std::string> failures_;
     std::function<void(const std::string &)> onMismatch_;
-    std::unordered_map<Addr, unsigned> forcedAtPc_;
+    std::map<Addr, unsigned> forcedAtPc_; ///< repeat guard, cold path
 
     static constexpr size_t TRACE_DEPTH = 64;
     std::vector<CommitProbe> trace_ = std::vector<CommitProbe>(TRACE_DEPTH);

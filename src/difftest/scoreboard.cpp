@@ -22,12 +22,12 @@ isL1(const Transaction &txn)
 } // namespace
 
 PermissionScoreboard::Perm
-PermissionScoreboard::permOf(Addr line, const void *cache) const
+PermissionScoreboard::permOf(Addr line, const char *name) const
 {
     auto it = perms_.find(line);
     if (it == perms_.end())
         return Perm::None;
-    auto jt = it->second.find(cache);
+    auto jt = it->second.find(std::string_view(name));
     return jt == it->second.end() ? Perm::None : jt->second;
 }
 
@@ -54,38 +54,38 @@ PermissionScoreboard::onTransaction(const Transaction &txn)
     switch (txn.kind) {
       case TxnKind::GrantExclusive:
         for (const auto &[cache, perm] : lineMap) {
-            if (cache != txn.cache && perm != Perm::None) {
+            if (cache != txn.cacheName && perm != Perm::None) {
                 violation("exclusive grant while a peer holds the line",
                           txn);
                 break;
             }
         }
-        lineMap[txn.cache] = Perm::Exclusive;
+        lineMap[txn.cacheName] = Perm::Exclusive;
         break;
 
       case TxnKind::GrantShared:
         for (const auto &[cache, perm] : lineMap) {
-            if (cache != txn.cache && perm == Perm::Exclusive) {
+            if (cache != txn.cacheName && perm == Perm::Exclusive) {
                 violation("shared grant while a peer holds exclusively",
                           txn);
                 break;
             }
         }
-        lineMap[txn.cache] = Perm::Shared;
+        lineMap[txn.cacheName] = Perm::Shared;
         break;
 
       case TxnKind::ProbeInvalid:
-        lineMap[txn.cache] = Perm::None;
+        lineMap[txn.cacheName] = Perm::None;
         break;
 
       case TxnKind::ProbeShared:
-        if (lineMap[txn.cache] == Perm::Exclusive)
-            lineMap[txn.cache] = Perm::Shared;
+        if (lineMap[txn.cacheName] == Perm::Exclusive)
+            lineMap[txn.cacheName] = Perm::Shared;
         break;
 
       case TxnKind::Release:
         // A release without a prior permission is a protocol bug.
-        if (permOf(txn.line, txn.cache) == Perm::None)
+        if (permOf(txn.line, txn.cacheName) == Perm::None)
             violation("release from a cache holding no permission", txn);
         break;
 

@@ -9,8 +9,8 @@
 #ifndef MINJIE_DIFFTEST_SCOREBOARD_H
 #define MINJIE_DIFFTEST_SCOREBOARD_H
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "uarch/cache.h"
@@ -33,14 +33,16 @@ class PermissionScoreboard
     uint64_t transactionsChecked() const { return checked_; }
 
   private:
-    /** Permission of @p cache on @p line as last granted. */
-    Perm permOf(Addr line, const void *cache) const;
+    /** Permission of cache @p name on @p line as last granted. */
+    Perm permOf(Addr line, const char *name) const;
 
     void violation(const char *what, const uarch::Transaction &txn);
 
-    // line -> (cache instance -> permission)
-    std::unordered_map<Addr, std::unordered_map<const void *, Perm>>
-        perms_;
+    // line -> (cache name -> permission). Keyed by the per-instance
+    // cache name, not the object pointer: iteration feeds violation
+    // reports, so the order must not depend on allocation addresses
+    // (lint MJ-DET-003/004).
+    std::map<Addr, std::map<std::string, Perm, std::less<>>> perms_;
     std::vector<std::string> violations_;
     uint64_t checked_ = 0;
 };

@@ -51,6 +51,19 @@ struct ArchState
         x[rd] = val;
         x[0] = 0;
     }
+
+    /**
+     * Write an fp register (raw NaN-boxed bit pattern). The single
+     * sanctioned store path into f[] (lint MJ-PRB-002): every value
+     * DiffTest compares flows through here, so probes and future
+     * write-tracing hook one place. Callers still mark mstatus.FS
+     * dirty via CsrFile::setFsDirty().
+     */
+    void
+    setF(unsigned rd, uint64_t bits)
+    {
+        f[rd] = bits;
+    }
 };
 
 /**

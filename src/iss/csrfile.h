@@ -76,6 +76,29 @@ class CsrFile
         mstatus |= isa::MSTATUS_FS | isa::MSTATUS_SD;
     }
 
+    /**
+     * OR fp exception flags into fflags: the sanctioned accumulation
+     * path for the executors (lint MJ-PRB-003). fflags is pure status
+     * — every bit is writable — so no WARL legalization applies.
+     */
+    void
+    accumulateFflags(uint8_t flags)
+    {
+        fflags |= flags;
+    }
+
+    /**
+     * Install an mstatus image produced by trap entry / trap return
+     * sequencing (lint MJ-PRB-003). The value must already be legal:
+     * callers edit individual fields of the current image, they do
+     * not launder arbitrary writes past write()'s legalization.
+     */
+    void
+    setMstatusForTrap(uint64_t value)
+    {
+        mstatus = value;
+    }
+
     bool fpEnabled() const { return (mstatus & isa::MSTATUS_FS) != 0; }
 };
 

@@ -185,8 +185,8 @@ execInst(ArchState &st, Mmu &mmu, const DecodedInst &di, fp::FpBackend fpb,
         Trap t = mmu.load(va, size, data);
         if (t.pending())
             return t;
-        st.f[di.rd] = op == Op::Flw
-            ? fp::boxF32(static_cast<uint32_t>(data)) : data;
+        st.setF(di.rd, op == Op::Flw
+            ? fp::boxF32(static_cast<uint32_t>(data)) : data);
         csr.setFsDirty();
         if (info) {
             info->memValid = true;
@@ -472,7 +472,7 @@ execInst(ArchState &st, Mmu &mmu, const DecodedInst &di, fp::FpBackend fpb,
         s &= ~MSTATUS_MPP;
         if (mpp != Priv::M)
             s &= ~MSTATUS_MPRV;
-        csr.mstatus = s;
+        csr.setMstatusForTrap(s);
         st.priv = mpp;
         st.pc = csr.mepc;
         return Trap::none();
@@ -488,7 +488,7 @@ execInst(ArchState &st, Mmu &mmu, const DecodedInst &di, fp::FpBackend fpb,
         s &= ~MSTATUS_SPP;
         if (spp != Priv::M)
             s &= ~MSTATUS_MPRV;
-        csr.mstatus = s;
+        csr.setMstatusForTrap(s);
         st.priv = spp;
         st.pc = csr.sepc;
         return Trap::none();
@@ -547,12 +547,12 @@ execInst(ArchState &st, Mmu &mmu, const DecodedInst &di, fp::FpBackend fpb,
         uint64_t c = st.f[di.rs3];
         fp::FpOut out = fp::fpExec(op, a, b, c, rm, fpb);
         if (writesFpRd(op)) {
-            st.f[di.rd] = out.value;
+            st.setF(di.rd, out.value);
         } else {
             setRd(out.value);
         }
         if (out.flags) {
-            csr.fflags |= out.flags;
+            csr.accumulateFflags(out.flags);
         }
         csr.setFsDirty();
         break;

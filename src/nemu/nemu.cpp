@@ -710,7 +710,7 @@ struct NemuExec
             fpDirty = true;
             *u->rd = out.value;
             if (out.flags)
-                st.csr.fflags |= out.flags;
+                st.csr.accumulateFflags(out.flags);
             st.csr.setFsDirty();
             NEXT();
           }
@@ -721,7 +721,7 @@ struct NemuExec
             // uop was dispatched but not yet counted), then run the
             // generic executor and re-resolve everything afterwards.
             if (fpDirty) {
-                st.csr.fflags |= fp::harvestHostFpFlags();
+                st.csr.accumulateFflags(fp::harvestHostFpFlags());
                 fpDirty = false;
             }
             st.pc = u->pc;
@@ -860,7 +860,7 @@ struct NemuExec
 #undef BRANCH
 
         if (fpDirty)
-            st.csr.fflags |= fp::harvestHostFpFlags();
+            st.csr.accumulateFflags(fp::harvestHostFpFlags());
         if (!result.halted && self->haltFn_ && self->haltFn_())
             result.halted = true;
         return result;
@@ -870,9 +870,13 @@ struct NemuExec
 const void *const *
 Nemu::handlerTable()
 {
-    if (!g_labels)
+    // Magic static: campaign workers race to translate their first
+    // block, so the one-time label collection must be synchronized.
+    static const void *const *labels = [] {
         NemuExec::engine(nullptr, 0, &g_labels);
-    return g_labels;
+        return const_cast<const void *const *>(g_labels);
+    }();
+    return labels;
 }
 
 RunResult

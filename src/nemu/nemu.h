@@ -138,7 +138,7 @@ class Nemu : public iss::Interp
      * absolute taken-target virtual address in @c imm, so the hot path
      * never touches the cold side.
      */
-    struct Uop
+    struct alignas(64) Uop
     {
         const void *handler = nullptr;
         uint64_t *rd = nullptr;       ///< destination (sink for x0)

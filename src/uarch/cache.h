@@ -91,7 +91,7 @@ class DramModel
         ++accesses_;
         if (cfg_.mode == DramCfg::Mode::FixedAmat)
             return cfg_.amatCycles;
-        unsigned ch = (addr >> 6) % cfg_.channels;
+        unsigned ch = static_cast<unsigned>((addr >> 6) % cfg_.channels);
         Cycle start = now > busy_[ch] ? now : busy_[ch];
         uint64_t row = addr >> 13;
         unsigned lat = openRow_[ch] == row ? cfg_.ddrRowHit : cfg_.ddrBase;

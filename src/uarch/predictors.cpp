@@ -141,8 +141,10 @@ Tage::update(const CondPred &pred, bool taken)
         // Allocate one entry in a randomly chosen longer table whose
         // victim is not useful.
         rngState_ = rngState_ * 6364136223846793005ULL + 1;
-        unsigned start = provider + 1 +
-                         (rngState_ >> 33) % (N_TABLES - provider - 1);
+        unsigned start =
+            static_cast<unsigned>(provider + 1) +
+            static_cast<unsigned>((rngState_ >> 33) %
+                                  (N_TABLES - provider - 1));
         for (unsigned t = start; t < N_TABLES; ++t) {
             auto &e = tables_[t][pred.idx[t]];
             if (e.useful == 0) {
@@ -265,7 +267,7 @@ Btb::Btb(unsigned entries, unsigned ways)
 bool
 Btb::predict(Addr pc, Addr &target) const
 {
-    unsigned set = (pc >> 1) % sets_;
+    unsigned set = static_cast<unsigned>((pc >> 1) % sets_);
     for (unsigned w = 0; w < ways_; ++w) {
         const auto &e = table_[set * ways_ + w];
         if (e.valid && e.pc == pc) {
@@ -281,7 +283,7 @@ Btb::predict(Addr pc, Addr &target) const
 void
 Btb::update(Addr pc, Addr target)
 {
-    unsigned set = (pc >> 1) % sets_;
+    unsigned set = static_cast<unsigned>((pc >> 1) % sets_);
     unsigned victim = 0;
     uint64_t oldest = ~0ULL;
     for (unsigned w = 0; w < ways_; ++w) {

@@ -175,7 +175,11 @@ class MicroBtb
         Addr pc = 0;
         Addr target = 0;
     };
-    unsigned index(Addr pc) const { return (pc >> 1) % entries_; }
+    unsigned
+    index(Addr pc) const
+    {
+        return static_cast<unsigned>((pc >> 1) % entries_);
+    }
     unsigned entries_;
     std::vector<Entry> table_;
 };
@@ -216,7 +220,7 @@ class Ras
     void
     push(Addr ret)
     {
-        top_ = (top_ + 1) % stack_.size();
+        top_ = static_cast<unsigned>((top_ + 1) % stack_.size());
         stack_[top_] = ret;
         if (size_ < stack_.size())
             ++size_;
@@ -228,7 +232,8 @@ class Ras
         if (size_ == 0)
             return 0;
         Addr v = stack_[top_];
-        top_ = (top_ + stack_.size() - 1) % stack_.size();
+        top_ = static_cast<unsigned>((top_ + stack_.size() - 1) %
+                                     stack_.size());
         --size_;
         return v;
     }

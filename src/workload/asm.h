@@ -97,18 +97,18 @@ class Asm
     emit(const isa::DecodedInst &di)
     {
         uint32_t w = isa::encode(di);
-        code_.push_back(w & 0xff);
-        code_.push_back((w >> 8) & 0xff);
-        code_.push_back((w >> 16) & 0xff);
-        code_.push_back((w >> 24) & 0xff);
+        code_.push_back(static_cast<uint8_t>(w & 0xff));
+        code_.push_back(static_cast<uint8_t>((w >> 8) & 0xff));
+        code_.push_back(static_cast<uint8_t>((w >> 16) & 0xff));
+        code_.push_back(static_cast<uint8_t>((w >> 24) & 0xff));
     }
 
     /** Emit a raw 16-bit (compressed) encoding. */
     void
     raw16(uint16_t w)
     {
-        code_.push_back(w & 0xff);
-        code_.push_back((w >> 8) & 0xff);
+        code_.push_back(static_cast<uint8_t>(w & 0xff));
+        code_.push_back(static_cast<uint8_t>((w >> 8) & 0xff));
     }
 
     /**
@@ -348,10 +348,10 @@ class Asm
     void
     write32(size_t off, uint32_t w)
     {
-        code_[off] = w & 0xff;
-        code_[off + 1] = (w >> 8) & 0xff;
-        code_[off + 2] = (w >> 16) & 0xff;
-        code_[off + 3] = (w >> 24) & 0xff;
+        code_[off] = static_cast<uint8_t>(w & 0xff);
+        code_[off + 1] = static_cast<uint8_t>((w >> 8) & 0xff);
+        code_[off + 2] = static_cast<uint8_t>((w >> 16) & 0xff);
+        code_[off + 3] = static_cast<uint8_t>((w >> 24) & 0xff);
     }
 
     Addr base_;

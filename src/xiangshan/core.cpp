@@ -438,8 +438,8 @@ Core::doFetch()
     if (fetchBuffer_.size() >= cfg_.fetchBufferSize)
         return;
 
-    unsigned slots = std::min<size_t>(
-        cfg_.fetchWidth, cfg_.fetchBufferSize - fetchBuffer_.size());
+    unsigned slots = static_cast<unsigned>(std::min<size_t>(
+        cfg_.fetchWidth, cfg_.fetchBufferSize - fetchBuffer_.size()));
     unsigned bubble = 0;
     Addr lastLine = ~0ULL;
     Cycle lineReady = now_ + 1;

@@ -66,13 +66,17 @@ struct PerfCounters
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(instrs) / cycles : 0.0;
+        return cycles ? static_cast<double>(instrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
     }
 
     double
     mpki() const
     {
-        return instrs ? 1000.0 * branchMispredicts / instrs : 0.0;
+        return instrs ? 1000.0 * static_cast<double>(branchMispredicts) /
+                            static_cast<double>(instrs)
+                      : 0.0;
     }
 };
 

@@ -80,7 +80,9 @@ Soc::ipc() const
         instrs += core->perf().instrs;
         cycles = std::max(cycles, core->perf().cycles);
     }
-    return cycles ? static_cast<double>(instrs) / cycles : 0.0;
+    return cycles
+               ? static_cast<double>(instrs) / static_cast<double>(cycles)
+               : 0.0;
 }
 
 } // namespace minjie::xs

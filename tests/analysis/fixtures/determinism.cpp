@@ -1,0 +1,18 @@
+// Seeded MJ-DET-* violations. This fixture is DATA, not code: it is
+// never compiled and never scanned by lint_repo_clean (which only
+// walks src/ and tools/). rules_test.cpp feeds it to the engine under
+// the scoped path src/campaign/fixture.cpp and asserts the exact rule
+// ids below, line by line.
+#include <cstdlib>
+
+void
+fixture_determinism()
+{
+    int a = rand();                                 // MJ-DET-001
+    std::mt19937 gen(42);                           // MJ-DET-001
+    long t = time(nullptr);                         // MJ-DET-002
+    auto now = std::chrono::steady_clock::now();    // MJ-DET-002
+    std::unordered_map<int, int> hist;              // MJ-DET-003
+    std::map<const Block *, int> order;             // MJ-DET-004
+    (void)a; (void)t; (void)now; (void)hist; (void)order;
+}

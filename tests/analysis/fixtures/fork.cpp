@@ -1,0 +1,12 @@
+// Seeded MJ-FRK-* violations: constructs that are unsafe to duplicate
+// across a LightSSS fork() snapshot. Fixture data only — never
+// compiled; see fixtures/determinism.cpp for the scheme.
+
+void
+fixture_fork()
+{
+    std::thread pool(worker);           // MJ-FRK-001
+    std::mutex guard;                   // MJ-FRK-002
+    printf("snapshot %d\n", 1);         // MJ-FRK-003
+    fprintf(stderr, "replay\n");        // stderr is unbuffered: clean
+}

@@ -1,0 +1,18 @@
+// Seeded MJ-LAY-001 violation: a layout-constrained struct without a
+// static_assert pinning the claim. Fixture data only — never
+// compiled; see fixtures/determinism.cpp for the scheme. (Pinned's
+// static_assert would not even hold if compiled; only the *presence*
+// of the assertion is what the rule checks.)
+
+struct alignas(64) Unpinned      // MJ-LAY-001
+{
+    uint64_t a;
+};
+
+struct alignas(64) Pinned        // clean: asserted below
+{
+    uint64_t a;
+};
+static_assert(sizeof(Pinned) == 64, "hot-loop line size");
+
+alignas(16) static uint8_t scratch[64]; // variable alignas: out of scope

@@ -1,0 +1,140 @@
+/**
+ * Unit tests for the lint lexer: token kinds, positions, comment
+ * collection, raw strings, and #include swallowing — the properties
+ * every rule in src/analysis/ builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lexer.h"
+
+namespace minjie::analysis {
+namespace {
+
+/** Keeps the SourceFile alive next to the tokens that view into it. */
+struct Lexed
+{
+    SourceFile file;
+    LexResult r;
+
+    explicit Lexed(const std::string &text)
+        : file("src/campaign/x.cpp", text), r(lex(file))
+    {
+    }
+
+    const std::vector<Token> &tokens() const { return r.tokens; }
+    const std::vector<Comment> &comments() const { return r.comments; }
+};
+
+TEST(Lexer, BasicTokenKinds)
+{
+    Lexed l("int a = rand() + 0x1f;\n");
+    ASSERT_EQ(l.tokens().size(), 9u);
+    EXPECT_EQ(l.tokens()[0].kind, Tok::Ident);
+    EXPECT_EQ(l.tokens()[0].text, "int");
+    EXPECT_EQ(l.tokens()[3].text, "rand");
+    EXPECT_EQ(l.tokens()[4].text, "(");
+    EXPECT_EQ(l.tokens()[7].kind, Tok::Number);
+    EXPECT_EQ(l.tokens()[7].text, "0x1f");
+    EXPECT_EQ(l.tokens()[8].text, ";");
+}
+
+TEST(Lexer, LineAndColumnAreOneBased)
+{
+    Lexed l("a\n  b\n");
+    ASSERT_EQ(l.tokens().size(), 2u);
+    EXPECT_EQ(l.tokens()[0].line, 1u);
+    EXPECT_EQ(l.tokens()[0].col, 1u);
+    EXPECT_EQ(l.tokens()[1].line, 2u);
+    EXPECT_EQ(l.tokens()[1].col, 3u);
+}
+
+TEST(Lexer, CommentsCollectedSeparately)
+{
+    Lexed l("int a; // trailing\n// own line\nint b;\n");
+    ASSERT_EQ(l.comments().size(), 2u);
+    EXPECT_EQ(l.comments()[0].text, " trailing");
+    EXPECT_FALSE(l.comments()[0].ownLine);
+    EXPECT_EQ(l.comments()[1].text, " own line");
+    EXPECT_TRUE(l.comments()[1].ownLine);
+    EXPECT_EQ(l.comments()[1].line, 2u);
+    // No comment text leaks into the token stream.
+    for (const Token &t : l.tokens())
+        EXPECT_NE(t.text, "trailing");
+}
+
+TEST(Lexer, BlockCommentSpansLines)
+{
+    Lexed l("/* one\n   two */ int a;\n");
+    ASSERT_EQ(l.comments().size(), 1u);
+    EXPECT_EQ(l.comments()[0].line, 1u);
+    ASSERT_GE(l.tokens().size(), 1u);
+    EXPECT_EQ(l.tokens()[0].text, "int");
+    EXPECT_EQ(l.tokens()[0].line, 2u);
+}
+
+TEST(Lexer, StringAndCharLiteralsAreOpaque)
+{
+    // rand() inside a string must not look like a call to the rules.
+    Lexed l("const char *s = \"rand() \\\" quoted\"; char c = 'x';\n");
+    bool sawRandIdent = false;
+    for (const Token &t : l.tokens())
+        if (t.kind == Tok::Ident && t.text == "rand")
+            sawRandIdent = true;
+    EXPECT_FALSE(sawRandIdent);
+    bool sawStr = false, sawChar = false;
+    for (const Token &t : l.tokens()) {
+        sawStr |= t.kind == Tok::Str;
+        sawChar |= t.kind == Tok::Char;
+    }
+    EXPECT_TRUE(sawStr);
+    EXPECT_TRUE(sawChar);
+}
+
+TEST(Lexer, RawStringLiteral)
+{
+    Lexed l("auto s = R\"(no \"escape\" rand() here)\"; int z;\n");
+    for (const Token &t : l.tokens())
+        EXPECT_FALSE(t.isIdent("rand"));
+    // Lexing resumes correctly after the raw string.
+    EXPECT_TRUE(l.tokens().back().is(";"));
+    EXPECT_TRUE(l.tokens()[l.tokens().size() - 2].isIdent("z"));
+}
+
+TEST(Lexer, IncludeSwallowedWhole)
+{
+    // <random> in an include must not produce a 'random' identifier.
+    Lexed l("#include <random>\n#include \"map/set.h\"\nint a;\n");
+    for (const Token &t : l.tokens()) {
+        EXPECT_FALSE(t.isIdent("random"));
+        EXPECT_FALSE(t.isIdent("map"));
+    }
+    EXPECT_TRUE(l.tokens()[0].isIdent("int"));
+}
+
+TEST(Lexer, NonIncludePreprocessorLinesAreLexed)
+{
+    // Macro bodies stay visible so rules can flag them.
+    Lexed l("#define DRAW() rand()\n");
+    bool sawRand = false;
+    for (const Token &t : l.tokens())
+        sawRand |= t.isIdent("rand");
+    EXPECT_TRUE(sawRand);
+}
+
+TEST(Lexer, MaximalMunchPunctuation)
+{
+    Lexed l("a <<= b; c->d; e <=> f; x >= y;\n");
+    std::vector<std::string_view> puncts;
+    for (const Token &t : l.tokens())
+        if (t.kind == Tok::Punct)
+            puncts.push_back(t.text);
+    ASSERT_GE(puncts.size(), 4u);
+    EXPECT_EQ(puncts[0], "<<=");
+    EXPECT_EQ(puncts[2], "->");
+    EXPECT_EQ(puncts[4], "<=>");
+    EXPECT_EQ(puncts[6], ">=");
+}
+
+} // namespace
+} // namespace minjie::analysis

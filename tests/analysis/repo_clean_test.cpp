@@ -1,0 +1,35 @@
+/**
+ * The repo-is-lint-clean gate, as a unit test: run the full engine
+ * over the checked-out src/ and tools/ trees with the checked-in
+ * baseline and require zero unsuppressed findings and zero stale
+ * baseline entries. The minjie-lint CLI registers the same check as
+ * the `lint_repo_clean` ctest; this version produces gtest-grade
+ * diagnostics when it fires.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/engine.h"
+
+namespace minjie::analysis {
+namespace {
+
+TEST(RepoClean, ZeroUnsuppressedFindings)
+{
+    EngineConfig cfg;
+    cfg.root = MINJIE_SOURCE_DIR;
+    cfg.baselinePath = std::string(MINJIE_SOURCE_DIR) +
+                       "/.minjie-lint-baseline";
+    auto res = Engine(cfg).run();
+
+    EXPECT_GT(res.filesScanned, 80u) << "scan rooted in the wrong place?";
+    for (const Finding &f : res.findings)
+        ADD_FAILURE() << f.path << ":" << f.line << ": [" << f.ruleId
+                      << "] " << f.message << "\n    " << f.snippet;
+    EXPECT_TRUE(res.findings.empty());
+    for (const std::string &s : res.staleBaseline)
+        ADD_FAILURE() << "stale baseline entry: " << s;
+}
+
+} // namespace
+} // namespace minjie::analysis

@@ -128,9 +128,9 @@ estimateCpi(const GenResult &gen, InstCount warm, InstCount measure)
         Cycle warmCycles = soc.core(0).perf().cycles;
         InstCount warmInstrs = soc.core(0).perf().instrs;
         soc.runUntilInstrs(warmInstrs + measure, 20'000'000);
-        double cpi = static_cast<double>(soc.core(0).perf().cycles -
-                                         warmCycles) /
-                     (soc.core(0).perf().instrs - warmInstrs);
+        double cpi =
+            static_cast<double>(soc.core(0).perf().cycles - warmCycles) /
+            static_cast<double>(soc.core(0).perf().instrs - warmInstrs);
         cpis.push_back(cpi);
         weights.push_back(cp.weight);
     }

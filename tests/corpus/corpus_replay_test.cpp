@@ -1,6 +1,6 @@
 /**
- * Replays every committed corpus entry (tests/corpus/*.mjc) on the
- * recorded engine pair. Entries are minimized programs that once
+ * Replays every committed corpus entry (.mjc files in tests/corpus/)
+ * on the recorded engine pair. Entries are minimized programs that once
  * exposed a divergence; on healthy engines they must run to completion
  * in full agreement, so a regression of a previously-fixed (or
  * previously-injected) bug fails exactly the test named after its file.

@@ -119,15 +119,19 @@ TEST_P(RoundtripTest, EncodeDecode)
         // Branches and stores have no rd; compare only meaningful fields.
         if (op != Op::Ecall && op != Op::Ebreak) {
             if (!isCondBranch(op) && !(isStore(op) && !isSc(op)) &&
-                op != Op::SfenceVma)
+                op != Op::SfenceVma) {
                 EXPECT_EQ(back.rd, di.rd) << opName(op);
-            if (op != Op::Lui && op != Op::Auipc && op != Op::Jal)
+            }
+            if (op != Op::Lui && op != Op::Auipc && op != Op::Jal) {
                 EXPECT_EQ(back.rs1, di.rs1) << opName(op);
+            }
         }
-        if (usesImm(op))
+        if (usesImm(op)) {
             EXPECT_EQ(back.imm, di.imm) << opName(op);
-        if (hasRs3(op))
+        }
+        if (hasRs3(op)) {
             EXPECT_EQ(back.rs3, di.rs3) << opName(op);
+        }
     }
 }
 

@@ -52,7 +52,7 @@ TEST(PhysMem, SparseAllocation)
     EXPECT_EQ(pm.allocatedPages(), 2u);
     uint64_t v;
     pm.read(0x80000000 + (1ULL << 30), 8, v);
-    EXPECT_EQ(v, 2u);
+    EXPECT_EQ(v, uint64_t{2});
 }
 
 TEST(PhysMem, UntouchedReadsZero)

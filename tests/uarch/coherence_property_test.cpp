@@ -41,10 +41,12 @@ checkSingleWriter(MemHierarchy &mem, Addr line)
     bool excl1 = s1 == CohState::E || s1 == CohState::M;
     // Never both exclusive; never exclusive while the peer holds any.
     ASSERT_FALSE(excl0 && excl1) << std::hex << line;
-    if (excl0)
+    if (excl0) {
         ASSERT_EQ(s1, CohState::I) << std::hex << line;
-    if (excl1)
+    }
+    if (excl1) {
         ASSERT_EQ(s0, CohState::I) << std::hex << line;
+    }
 }
 
 class CoherenceProperty : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * minjie-lint: static invariant analyzer for the co-simulation stack.
+ *
+ * Scans src/ and tools/ for violations of the repo's determinism,
+ * probe-accessor, fork-safety, and layout contracts (see
+ * src/analysis/rule.h for the rule families).
+ *
+ * Exit codes: 0 clean, 1 findings (or stale baseline entries),
+ * 2 usage / I/O error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/baseline.h"
+#include "analysis/engine.h"
+#include "analysis/report.h"
+
+namespace {
+
+using namespace minjie::analysis;
+
+void
+usage(FILE *to)
+{
+    std::fprintf(to,
+        "usage: minjie-lint [options]\n"
+        "  --root DIR          repo root to scan (default: .)\n"
+        "  --scan DIR          scan this dir under root (repeatable;\n"
+        "                      default: src tools)\n"
+        "  --exclude PREFIX    skip files under this repo-relative "
+                              "prefix\n"
+        "  --format FMT        human | json | sarif (default: human)\n"
+        "  --output FILE       write the report here instead of stdout\n"
+        "  --baseline FILE     suppress findings recorded in FILE\n"
+        "  --update-baseline   rewrite the baseline from current "
+                              "findings\n"
+        "  --rule ID           run only this rule (repeatable)\n"
+        "  --all-scopes        apply every rule to every file\n"
+        "  --list-rules        print the rule registry and exit\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    EngineConfig cfg;
+    cfg.root = ".";
+    cfg.scanDirs.clear();
+    std::string format = "human";
+    std::string output;
+    bool updateBaseline = false;
+    bool listRules = false;
+
+    auto needArg = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "minjie-lint: %s needs an argument\n",
+                         argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--root")) {
+            cfg.root = needArg(i);
+        } else if (!std::strcmp(a, "--scan")) {
+            cfg.scanDirs.push_back(needArg(i));
+        } else if (!std::strcmp(a, "--exclude")) {
+            cfg.excludePrefixes.push_back(needArg(i));
+        } else if (!std::strcmp(a, "--format")) {
+            format = needArg(i);
+        } else if (!std::strcmp(a, "--output")) {
+            output = needArg(i);
+        } else if (!std::strcmp(a, "--baseline")) {
+            cfg.baselinePath = needArg(i);
+        } else if (!std::strcmp(a, "--update-baseline")) {
+            updateBaseline = true;
+        } else if (!std::strcmp(a, "--rule")) {
+            cfg.onlyRules.push_back(needArg(i));
+        } else if (!std::strcmp(a, "--all-scopes")) {
+            cfg.ignoreScopes = true;
+        } else if (!std::strcmp(a, "--list-rules")) {
+            listRules = true;
+        } else if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "minjie-lint: unknown option %s\n", a);
+            usage(stderr);
+            return 2;
+        }
+    }
+    if (cfg.scanDirs.empty())
+        cfg.scanDirs = {"src", "tools"};
+
+    Engine engine(cfg);
+
+    if (listRules) {
+        for (const auto &rule : engine.rules()) {
+            std::printf("%-12s %s\n",
+                        std::string(rule->id()).c_str(),
+                        std::string(rule->summary()).c_str());
+            for (const std::string &dir : rule->scope())
+                std::printf("             scope: %s\n", dir.c_str());
+        }
+        return 0;
+    }
+
+    EngineResult res;
+    if (updateBaseline) {
+        // Collect unbaselined findings, then record them all.
+        std::string keep = cfg.baselinePath;
+        cfg.baselinePath.clear();
+        Engine fresh(cfg);
+        res = fresh.run();
+        if (keep.empty()) {
+            std::fprintf(stderr,
+                         "minjie-lint: --update-baseline needs "
+                         "--baseline FILE\n");
+            return 2;
+        }
+        if (!Baseline::write(keep, res.findings)) {
+            std::fprintf(stderr,
+                         "minjie-lint: cannot write baseline %s\n",
+                         keep.c_str());
+            return 2;
+        }
+        std::printf("minjie-lint: recorded %zu finding%s into %s\n",
+                    res.findings.size(),
+                    res.findings.size() == 1 ? "" : "s", keep.c_str());
+        return 0;
+    }
+
+    res = engine.run();
+
+    std::string report;
+    if (format == "human")
+        report = renderHuman(res);
+    else if (format == "json")
+        report = renderJson(res);
+    else if (format == "sarif")
+        report = renderSarif(res, engine);
+    else {
+        std::fprintf(stderr, "minjie-lint: unknown format %s\n",
+                     format.c_str());
+        return 2;
+    }
+
+    if (output.empty()) {
+        std::fputs(report.c_str(), stdout);
+    } else {
+        FILE *f = std::fopen(output.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "minjie-lint: cannot open %s\n",
+                         output.c_str());
+            return 2;
+        }
+        std::fputs(report.c_str(), f);
+        std::fclose(f);
+        // Keep the human summary visible even when redirecting.
+        if (format != "human")
+            std::printf("minjie-lint: %zu finding%s -> %s\n",
+                        res.findings.size(),
+                        res.findings.size() == 1 ? "" : "s",
+                        output.c_str());
+    }
+
+    return res.findings.empty() && res.staleBaseline.empty() ? 0 : 1;
+}

@@ -113,7 +113,8 @@ runInterpreter(const Options &opt, const wl::Program &prog)
     std::printf("[%s] %llu instructions in %.3fs (%.1f MIPS)%s\n",
                 opt.engine.c_str(),
                 static_cast<unsigned long long>(r.executed), sec,
-                sec > 0 ? r.executed / sec / 1e6 : 0.0,
+                sec > 0 ? static_cast<double>(r.executed) / sec / 1e6
+                        : 0.0,
                 r.halted ? "" : " [budget reached]");
     if (sys.simctrl.exited())
         std::printf("workload exit code: %llu\n",
@@ -196,7 +197,8 @@ runXiangshan(const Options &opt, const wl::Program &prog)
                 cfg.name.c_str(),
                 static_cast<unsigned long long>(p.instrs),
                 static_cast<unsigned long long>(p.cycles), p.ipc(),
-                sec > 0 ? p.cycles / sec / 1e3 : 0.0);
+                sec > 0 ? static_cast<double>(p.cycles) / sec / 1e3
+                        : 0.0);
     std::printf("branches: %llu (mpki %.2f)  fused: %llu  moves "
                 "eliminated: %llu\n",
                 static_cast<unsigned long long>(p.branches), p.mpki(),
