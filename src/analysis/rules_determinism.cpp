@@ -18,6 +18,7 @@ const std::vector<std::string> DET_SCOPE = {
     "src/campaign/",
     "src/difftest/",
     "src/archdb/",
+    "src/obs/",
     "tools/",
 };
 

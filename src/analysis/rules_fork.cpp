@@ -16,7 +16,10 @@ namespace minjie::analysis {
 
 namespace {
 
-const std::vector<std::string> FRK_SCOPE = {"src/lightsss/"};
+/** The tracer's record path runs between fork points too: a LightSSS
+ *  replay child inherits the ring buffer mid-flight, so src/obs/ must
+ *  obey the same no-locks / no-thread / no-buffered-stdio rules. */
+const std::vector<std::string> FRK_SCOPE = {"src/lightsss/", "src/obs/"};
 
 class ThreadSpawn final : public BasicRule
 {

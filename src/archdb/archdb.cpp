@@ -62,6 +62,10 @@ ArchDB::ArchDB()
     tables_.emplace(
         "transactions",
         Table("transactions", {"cycle", "kind", "cache", "line"}));
+    tables_.emplace("counters", Table("counters", {"name", "value"}));
+    tables_.emplace("trace_events",
+                    Table("trace_events", {"cycle", "kind", "pc", "arg0",
+                                           "arg1", "hart"}));
 }
 
 void
@@ -96,6 +100,21 @@ ArchDB::recordTransaction(const uarch::Transaction &txn)
                                     Value(uarch::txnKindName(txn.kind)),
                                     Value(txn.cacheName),
                                     Value(txn.line)});
+}
+
+void
+ArchDB::recordCounter(const std::string &path, uint64_t value)
+{
+    tables_["counters"].insert({Value(path), Value(value)});
+}
+
+void
+ArchDB::recordTraceEvent(Cycle at, const std::string &kind, Addr pc,
+                         uint64_t arg0, uint64_t arg1, unsigned hart)
+{
+    tables_["trace_events"].insert({Value(at), Value(kind), Value(pc),
+                                    Value(arg0), Value(arg1),
+                                    Value(uint64_t(hart))});
 }
 
 Table &

@@ -115,6 +115,17 @@ class ArchDB
     /** Record a cache transaction (table "transactions"). */
     void recordTransaction(const uarch::Transaction &txn);
 
+    /**
+     * Record one named counter value (table "counters",
+     * schema-from-counter: rows carry the dotted tree path). The obs
+     * layer streams CounterSnapshot entries through here.
+     */
+    void recordCounter(const std::string &path, uint64_t value);
+
+    /** Record one trace event (table "trace_events"). */
+    void recordTraceEvent(Cycle at, const std::string &kind, Addr pc,
+                          uint64_t arg0, uint64_t arg1, unsigned hart);
+
     /** Create (or fetch) a user table. */
     Table &table(const std::string &name,
                  std::vector<std::string> columns = {});

@@ -24,7 +24,8 @@ constexpr uint64_t PLAN_SALT = 0x9e3779b97f4a7c15ULL;
 /** Run @p prog under full DiffTest co-simulation; empty sig == clean. */
 std::string
 runDiffTestOnce(const wl::Program &prog, uint64_t maxCycles,
-                uint64_t *commits, std::string *detail)
+                uint64_t *commits, std::string *detail,
+                PerfSummary *perf = nullptr)
 {
     xs::Soc soc(xs::CoreConfig::nh());
     difftest::DiffTest dt(soc);
@@ -36,6 +37,19 @@ runDiffTestOnce(const wl::Program &prog, uint64_t maxCycles,
     dt.run(maxCycles);
     if (commits)
         *commits = dt.stats().commitsChecked;
+    if (perf) {
+        const xs::PerfCounters &p = soc.core(0).perf();
+        perf->valid = true;
+        perf->cycles = p.cycles;
+        perf->instrs = p.instrs;
+        perf->branches = p.branches;
+        perf->branchMispredicts = p.branchMispredicts;
+        perf->tdRetiring = p.tdRetiring;
+        perf->tdFrontend = p.tdFrontend;
+        perf->tdBadSpec = p.tdBadSpec;
+        perf->tdBackendMem = p.tdBackendMem;
+        perf->tdBackendCore = p.tdBackendCore;
+    }
     if (dt.ok())
         return "";
     if (detail)
@@ -93,7 +107,8 @@ runJob(const CampaignConfig &cfg, uint64_t seed)
         uint64_t commits = 0;
         std::string detail;
         jr.signature = runDiffTestOnce(prog, cfg.difftestMaxCycles,
-                                       &commits, &detail);
+                                       &commits, &detail,
+                                       cfg.perf ? &jr.perf : nullptr);
         jr.steps = commits;
         jr.failed = !jr.signature.empty();
         jr.detail = detail;
@@ -265,6 +280,41 @@ CampaignReport::toJson() const
     }
     jw.endArray();
 
+    bool anyPerf = false;
+    for (const auto &jr : results)
+        anyPerf = anyPerf || jr.perf.valid;
+    if (anyPerf) {
+        jw.key("perf_jobs").beginArray();
+        for (const auto &jr : results) {
+            if (!jr.perf.valid)
+                continue;
+            const PerfSummary &p = jr.perf;
+            double ipc = p.cycles ? static_cast<double>(p.instrs) /
+                                        static_cast<double>(p.cycles)
+                                  : 0.0;
+            jw.beginObject();
+            jw.key("seed").value(jr.seed);
+            jw.key("cycles").value(p.cycles);
+            jw.key("instrs").value(p.instrs);
+            jw.key("ipc").value(ipc);
+            jw.key("branches").value(p.branches);
+            jw.key("branch_mispredicts").value(p.branchMispredicts);
+            jw.key("td_retiring").value(p.tdRetiring);
+            jw.key("td_frontend").value(p.tdFrontend);
+            jw.key("td_bad_speculation").value(p.tdBadSpec);
+            jw.key("td_backend_memory").value(p.tdBackendMem);
+            jw.key("td_backend_core").value(p.tdBackendCore);
+            jw.endObject();
+        }
+        jw.endArray();
+        // Aggregate view: the worker-count-invariant merged snapshot.
+        obs::CounterSnapshot total = perfCounters();
+        jw.key("perf_total").beginObject();
+        for (const auto &[k, v] : total.values)
+            jw.key(k).value(v);
+        jw.endObject();
+    }
+
     jw.key("failing_jobs").beginArray();
     for (const auto &jr : results) {
         if (!jr.failed)
@@ -280,6 +330,30 @@ CampaignReport::toJson() const
 
     jw.endObject();
     return jw.str();
+}
+
+obs::CounterSnapshot
+CampaignReport::perfCounters() const
+{
+    obs::CounterSnapshot total;
+    for (const auto &jr : results) {
+        if (!jr.perf.valid)
+            continue;
+        const PerfSummary &p = jr.perf;
+        obs::CounterSnapshot one;
+        one.set("dut.jobs", 1);
+        one.set("dut.cycles", p.cycles);
+        one.set("dut.instrs", p.instrs);
+        one.set("dut.branches", p.branches);
+        one.set("dut.branch_mispredicts", p.branchMispredicts);
+        one.set("dut.topdown.retiring", p.tdRetiring);
+        one.set("dut.topdown.frontend", p.tdFrontend);
+        one.set("dut.topdown.bad_speculation", p.tdBadSpec);
+        one.set("dut.topdown.backend_memory", p.tdBackendMem);
+        one.set("dut.topdown.backend_core", p.tdBackendCore);
+        total.merge(one);
+    }
+    return total;
 }
 
 } // namespace minjie::campaign

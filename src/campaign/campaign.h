@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "campaign/lockstep.h"
+#include "obs/counter.h"
 #include "workload/shrinkable.h"
 
 namespace minjie::campaign {
@@ -54,6 +55,26 @@ struct CampaignConfig
     LockstepOptions lockstep;   ///< NEMU ablation flags for every job
     bool shrinkFailures = true; ///< delta-debug one rep per bucket
     std::string corpusDir;      ///< when set, write minimized failures
+    bool perf = false;          ///< collect per-job DUT perf summaries
+};
+
+/**
+ * DUT performance summary of one DiffTest job (collected under
+ * CampaignConfig::perf). A pure function of the seed, so aggregation
+ * across workers is invariant.
+ */
+struct PerfSummary
+{
+    bool valid = false;
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t branches = 0;
+    uint64_t branchMispredicts = 0;
+    uint64_t tdRetiring = 0;
+    uint64_t tdFrontend = 0;
+    uint64_t tdBadSpec = 0;
+    uint64_t tdBackendMem = 0;
+    uint64_t tdBackendCore = 0;
 };
 
 /** What one seed runs: derived deterministically by planJob(). */
@@ -76,6 +97,7 @@ struct JobResult
     uint64_t steps = 0;    ///< instructions checked (per engine)
     double sec = 0;
     unsigned worker = 0;
+    PerfSummary perf;      ///< filled for DiffTest jobs under --perf
 };
 
 /** Failures grouped by divergence signature. */
@@ -109,6 +131,15 @@ struct CampaignReport
     std::vector<WorkerStats> workers;
 
     std::string toJson() const;
+
+    /**
+     * Merge every per-job PerfSummary into one counter snapshot
+     * (keys "dut.cycles", "dut.topdown.retiring", ...). Deterministic
+     * and worker-count-invariant: results are iterated in seed order
+     * and merge() is a commutative sum, so 1-worker and N-worker runs
+     * of the same seed range serialize byte-identically.
+     */
+    obs::CounterSnapshot perfCounters() const;
 };
 
 /** Derive the job for @p seed (pure function of config + seed). */

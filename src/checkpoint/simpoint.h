@@ -12,7 +12,7 @@
 #ifndef MINJIE_CHECKPOINT_SIMPOINT_H
 #define MINJIE_CHECKPOINT_SIMPOINT_H
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/rng.h"
@@ -20,8 +20,13 @@
 
 namespace minjie::checkpoint {
 
-/** One interval's basic-block execution profile. */
-using Bbv = std::unordered_map<Addr, uint64_t>;
+/**
+ * One interval's basic-block execution profile. A sorted map: the
+ * random projection accumulates floating-point terms in iteration
+ * order, so an unordered container would make the clustering depend
+ * on the hash-table layout of the host's standard library.
+ */
+using Bbv = std::map<Addr, uint64_t>;
 
 /** Collects BBVs from an interpreter block hook. */
 class BbvCollector
@@ -46,15 +51,17 @@ class BbvCollector
         }
     }
 
-    /** Close the trailing partial interval (call at end of profiling). */
+    /** Close the trailing partial interval (call at end of profiling).
+     *  Idempotent: a second call finds no pending work and changes
+     *  nothing, and the instruction count never carries over into a
+     *  resumed profile. */
     void
     finish()
     {
-        if (!current_.empty()) {
+        if (!current_.empty())
             intervals_.push_back(std::move(current_));
-            current_.clear();
-            executed_ = 0;
-        }
+        current_.clear();
+        executed_ = 0;
     }
 
     const std::vector<Bbv> &intervals() const { return intervals_; }

@@ -54,8 +54,21 @@ DiffTest::fail(HartId hart, const std::string &why)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "[hart %u] ", hart);
     failures_.push_back(buf + why);
-    if (failures_.size() == 1 && onMismatch_)
-        onMismatch_(failures_.front());
+    if (failures_.size() == 1) {
+        if (obsTrace_) {
+            // Freeze the post-mortem window: the Divergence marker goes
+            // in first so the window always contains it, then the
+            // last-K events (faulty commit included) are copied out.
+            obsTrace_->record(obs::Ev::Divergence,
+                              dut_.core(hart).now(),
+                              dut_.core(hart).oracleState().pc,
+                              stats_.commitsChecked, 0,
+                              static_cast<uint8_t>(hart));
+            divWindow_ = obsTrace_->lastK(obsWindowK_);
+        }
+        if (onMismatch_)
+            onMismatch_(failures_.front());
+    }
 }
 
 void

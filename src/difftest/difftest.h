@@ -39,6 +39,7 @@
 #include "difftest/global_memory.h"
 #include "difftest/scoreboard.h"
 #include "nemu/nemu.h"
+#include "obs/trace.h"
 #include "xiangshan/soc.h"
 
 namespace minjie::difftest {
@@ -149,6 +150,24 @@ class DiffTest
      */
     std::vector<std::string> recentCommitTrace() const;
 
+    /**
+     * Attach an obs tracer (typically also attached to the DUT core):
+     * on the first mismatch a Divergence event is recorded and the
+     * tracer's last-K window is frozen into divergenceWindow().
+     * @param lastK  events to keep alongside the DivergenceReport
+     */
+    void attachTrace(obs::TraceBuffer *trace, size_t lastK = 256)
+    {
+        obsTrace_ = trace;
+        obsWindowK_ = lastK;
+    }
+
+    /** Trace window captured at the first mismatch (empty when ok). */
+    const std::vector<obs::TraceEvent> &divergenceWindow() const
+    {
+        return divWindow_;
+    }
+
   private:
     void onCommit(HartId hart, const CommitProbe &probe);
     void onStore(const StoreProbe &probe);
@@ -169,6 +188,9 @@ class DiffTest
     DivergenceReport div_;
     std::vector<std::string> failures_;
     std::function<void(const std::string &)> onMismatch_;
+    obs::TraceBuffer *obsTrace_ = nullptr;
+    size_t obsWindowK_ = 256;
+    std::vector<obs::TraceEvent> divWindow_;
     std::map<Addr, unsigned> forcedAtPc_; ///< repeat guard, cold path
 
     static constexpr size_t TRACE_DEPTH = 64;

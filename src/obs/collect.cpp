@@ -1,0 +1,178 @@
+#include "obs/collect.h"
+
+#include <string>
+
+#include "archdb/archdb.h"
+#include "iss/interp.h"
+#include "nemu/nemu.h"
+#include "uarch/hierarchy.h"
+#include "xiangshan/soc.h"
+
+namespace minjie::obs {
+
+namespace {
+
+void
+collectCacheInto(CounterGroup &g, const uarch::Cache &cache)
+{
+    const auto &s = cache.stats();
+    CounterGroup &c = g.group(cache.name());
+    c.set("hits", s.hits);
+    c.set("misses", s.misses);
+    c.set("writebacks", s.writebacks);
+    c.set("probes_received", s.probesReceived);
+    c.set("upgrades", s.upgrades);
+    c.set("mshr_stalls", s.mshrStalls);
+}
+
+void
+collectTlbInto(CounterGroup &g, const char *name,
+               const uarch::TlbStats &s)
+{
+    CounterGroup &t = g.group(name);
+    t.set("hits", s.hits);
+    t.set("misses", s.misses);
+}
+
+void
+collectMmuInto(CounterGroup &g, const iss::MmuStats &s)
+{
+    CounterGroup &m = g.group("mmu");
+    m.set("tlb_hits", s.tlbHits);
+    m.set("tlb_misses", s.tlbMisses);
+    m.set("page_walks", s.pageWalks);
+    m.set("page_faults", s.pageFaults);
+}
+
+} // namespace
+
+void
+collectCore(CounterGroup &g, xs::Core &core)
+{
+    const xs::PerfCounters &p = core.perf();
+    g.set("cycles", p.cycles);
+    g.set("instrs", p.instrs);
+    g.set("fetched_instrs", p.fetchedInstrs);
+    g.set("branches", p.branches);
+    g.set("branch_mispredicts", p.branchMispredicts);
+    g.set("indirects", p.indirects);
+    g.set("indirect_mispredicts", p.indirectMispredicts);
+    g.set("loads", p.loads);
+    g.set("stores", p.stores);
+    g.set("store_forwards", p.storeForwards);
+    g.set("fused_pairs", p.fusedPairs);
+    g.set("moves_eliminated", p.movesEliminated);
+
+    CounterGroup &fe = g.group("frontend");
+    fe.set("fetch_stall_cycles", p.fetchStallCycles);
+    fe.set("stall_mispredict", p.stallMispredict);
+    fe.set("stall_serialize", p.stallSerialize);
+    fe.set("stall_bubble", p.stallBubble);
+
+    CounterGroup &be = g.group("backend");
+    be.set("rob_full_stalls", p.robFullStalls);
+    be.set("rs_full_stalls", p.rsFullStalls);
+    be.set("high_priority_insts", p.highPriorityInsts);
+    be.set("load_defers", p.loadDefers);
+
+    CounterGroup &td = g.group("topdown");
+    td.set("retiring", p.tdRetiring);
+    td.set("frontend", p.tdFrontend);
+    td.set("bad_speculation", p.tdBadSpec);
+    td.set("backend_memory", p.tdBackendMem);
+    td.set("backend_core", p.tdBackendCore);
+
+    // Figure 15 ready-count distribution.
+    CounterGroup &rh = g.group("ready_hist");
+    for (unsigned b = 0; b < xs::PerfCounters::READY_BUCKETS; ++b)
+        rh.set("bucket" + std::to_string(b), p.readyHist[b]);
+    rh.set("samples", p.readySamples);
+
+    collectMmuInto(g, core.oracleMmu().stats());
+}
+
+void
+collectMem(CounterGroup &g, uarch::MemHierarchy &mem)
+{
+    for (unsigned c = 0; c < mem.numCores(); ++c) {
+        collectCacheInto(g, mem.l1i(c));
+        collectCacheInto(g, mem.l1d(c));
+    }
+    // Shared L2/L3 are deduplicated by cache name (group() fetches the
+    // same node, set() overwrites with identical values).
+    for (unsigned c = 0; c < mem.numCores(); ++c)
+        if (const uarch::Cache *l2 = mem.l2(c))
+            collectCacheInto(g, *l2);
+    if (const uarch::Cache *l3 = mem.l3())
+        collectCacheInto(g, *l3);
+    g.set("dram_accesses", mem.dram().accesses());
+
+    for (unsigned c = 0; c < mem.numCores(); ++c) {
+        CounterGroup &tg = g.group("tlb" + std::to_string(c));
+        collectTlbInto(tg, "itlb", mem.itlbPath(c).l1().stats());
+        collectTlbInto(tg, "dtlb", mem.dtlbPath(c).l1().stats());
+    }
+}
+
+void
+collectSoc(CounterGroup &root, xs::Soc &soc)
+{
+    for (unsigned c = 0; c < soc.numCores(); ++c)
+        collectCore(root.group("core" + std::to_string(c)),
+                    soc.core(c));
+    collectMem(root.group("mem"), soc.mem());
+}
+
+void
+collectNemu(CounterGroup &g, nemu::Nemu &nemu)
+{
+    const nemu::NemuStats &s = nemu.stats();
+    CounterGroup &n = g.group("nemu");
+    n.set("uop_hits", s.uopHits);
+    n.set("translations", s.translations);
+    n.set("flushes", s.flushes);
+    n.set("chain_resolves", s.chainResolves);
+    n.set("superblock_jumps", s.superblockJumps);
+    n.set("host_tlb_fills", s.hostTlbFills);
+    n.set("host_tlb_flushes", s.hostTlbFlushes);
+    collectMmuInto(g, nemu.mmu().stats());
+}
+
+void
+collectInterp(CounterGroup &g, iss::Interp &interp)
+{
+    collectMmuInto(g, interp.mmu().stats());
+    if (auto *spike = dynamic_cast<iss::SpikeInterp *>(&interp)) {
+        CounterGroup &d = g.group("decode_cache");
+        d.set("hits", spike->decodeCacheHits());
+        d.set("misses", spike->decodeCacheMisses());
+    }
+}
+
+void
+attachCacheTrace(uarch::MemHierarchy &mem, TraceBuffer &trace)
+{
+    mem.addTxnLog([&trace](const uarch::Transaction &t) {
+        trace.record(Ev::CacheTxn, t.at, t.line, t.line,
+                     static_cast<uint32_t>(t.kind));
+    });
+    mem.setTrace(&trace);
+}
+
+void
+exportToArchDB(archdb::ArchDB &db, const CounterSnapshot &snap)
+{
+    for (const auto &[k, v] : snap.values)
+        db.recordCounter(k, v);
+}
+
+void
+exportTraceToArchDB(archdb::ArchDB &db,
+                    const std::vector<TraceEvent> &events)
+{
+    for (const auto &e : events)
+        db.recordTraceEvent(e.cycle, evName(e.kind), e.pc, e.arg0,
+                            e.arg1, e.hart);
+}
+
+} // namespace minjie::obs

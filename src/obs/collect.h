@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Collectors: walk the simulators' existing stats structs into the
+ * hierarchical counter tree at snapshot points (end of run, campaign
+ * job boundary). Pull-based by design — the hot loops stay untouched,
+ * so observability off means literally zero work in the models.
+ */
+
+#ifndef MINJIE_OBS_COLLECT_H
+#define MINJIE_OBS_COLLECT_H
+
+#include "obs/counter.h"
+#include "obs/trace.h"
+
+namespace minjie::archdb {
+class ArchDB;
+}
+namespace minjie::iss {
+class Interp;
+}
+namespace minjie::nemu {
+class Nemu;
+}
+namespace minjie::uarch {
+class MemHierarchy;
+}
+namespace minjie::xs {
+class Core;
+class Soc;
+}
+
+namespace minjie::obs {
+
+/** Pipeline + predictor + top-down counters of one core into @p g. */
+void collectCore(CounterGroup &g, xs::Core &core);
+
+/** Cache / TLB / DRAM counters of the hierarchy into @p g. */
+void collectMem(CounterGroup &g, uarch::MemHierarchy &mem);
+
+/** Whole SoC: per-core groups ("core0"...) plus a "mem" group. */
+void collectSoc(CounterGroup &root, xs::Soc &soc);
+
+/** NEMU uop-cache / chaining / host-TLB counters plus MMU stats. */
+void collectNemu(CounterGroup &g, nemu::Nemu &nemu);
+
+/** Generic interpreter: functional MMU stats (+ decode cache). */
+void collectInterp(CounterGroup &g, iss::Interp &interp);
+
+/** Subscribe @p trace to the hierarchy's coherence transactions
+ *  (CacheTxn events) without disturbing other observers. */
+void attachCacheTrace(uarch::MemHierarchy &mem, TraceBuffer &trace);
+
+/** Stream a snapshot into ArchDB's "counters" table (key order). */
+void exportToArchDB(archdb::ArchDB &db, const CounterSnapshot &snap);
+
+/** Stream trace events into ArchDB's "trace_events" table. */
+void exportTraceToArchDB(archdb::ArchDB &db,
+                         const std::vector<TraceEvent> &events);
+
+} // namespace minjie::obs
+
+#endif // MINJIE_OBS_COLLECT_H

@@ -1,0 +1,93 @@
+#include "obs/topdown.h"
+
+#include <cstdio>
+
+#include "common/jsonw.h"
+
+namespace minjie::obs {
+
+double
+CpiStack::share(uint64_t bucket) const
+{
+    return cycles ? static_cast<double>(bucket) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+}
+
+CpiStack
+CpiStack::fromCounters(const CounterSnapshot &snap,
+                       const std::string &prefix)
+{
+    CpiStack s;
+    auto at = [&](const char *leaf) {
+        return snap.get(prefix + "." + leaf);
+    };
+    s.cycles = at("cycles");
+    s.instrs = at("instrs");
+    s.retiring = at("topdown.retiring");
+    s.frontend = at("topdown.frontend");
+    s.badSpec = at("topdown.bad_speculation");
+    s.backendMem = at("topdown.backend_memory");
+    s.backendCore = at("topdown.backend_core");
+    return s;
+}
+
+std::string
+CpiStack::table(const std::string &title) const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "top-down CPI stack: %s\n"
+                  "  cycles %llu  instrs %llu  ipc %.3f\n",
+                  title.c_str(),
+                  static_cast<unsigned long long>(cycles),
+                  static_cast<unsigned long long>(instrs), ipc());
+    out += line;
+    struct Row
+    {
+        const char *name;
+        uint64_t v;
+    } rows[] = {
+        {"retiring", retiring},         {"frontend", frontend},
+        {"bad_speculation", badSpec},   {"backend_memory", backendMem},
+        {"backend_core", backendCore},
+    };
+    for (const auto &r : rows) {
+        unsigned bar =
+            static_cast<unsigned>(share(r.v) * 40.0 + 0.5);
+        std::snprintf(line, sizeof(line), "  %-16s %10llu  %5.1f%%  ",
+                      r.name, static_cast<unsigned long long>(r.v),
+                      share(r.v) * 100.0);
+        out += line;
+        for (unsigned i = 0; i < bar; ++i)
+            out += '#';
+        out += '\n';
+    }
+    std::snprintf(line, sizeof(line),
+                  "  bucket sum %llu / cycles %llu (%s)\n",
+                  static_cast<unsigned long long>(bucketSum()),
+                  static_cast<unsigned long long>(cycles),
+                  sumsExactly() ? "exact" : "MISMATCH");
+    out += line;
+    return out;
+}
+
+std::string
+CpiStack::toJson() const
+{
+    JsonWriter jw;
+    jw.beginObject();
+    jw.key("cycles").value(cycles);
+    jw.key("instrs").value(instrs);
+    jw.key("retiring").value(retiring);
+    jw.key("frontend").value(frontend);
+    jw.key("bad_speculation").value(badSpec);
+    jw.key("backend_memory").value(backendMem);
+    jw.key("backend_core").value(backendCore);
+    jw.key("exact").value(sumsExactly());
+    jw.endObject();
+    return jw.str();
+}
+
+} // namespace minjie::obs

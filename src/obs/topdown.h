@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Top-down CPI-stack analyzer ("Towards Accurate Performance Modeling
+ * of RISC-V Designs", arXiv:2106.09991): cycles attributed exclusively
+ * to retiring / frontend / bad-speculation / backend-memory /
+ * backend-core buckets. The XiangShan core model charges each cycle to
+ * exactly one bucket (Core::classifyCycle), so sumsExactly() is an
+ * invariant, not an approximation — the acceptance gate for
+ * `minjie-trace report`.
+ */
+
+#ifndef MINJIE_OBS_TOPDOWN_H
+#define MINJIE_OBS_TOPDOWN_H
+
+#include <string>
+
+#include "obs/counter.h"
+
+namespace minjie::obs {
+
+/** One core's top-down cycle accounting. */
+struct CpiStack
+{
+    uint64_t cycles = 0;
+    uint64_t instrs = 0;
+    uint64_t retiring = 0;
+    uint64_t frontend = 0;
+    uint64_t badSpec = 0;
+    uint64_t backendMem = 0;
+    uint64_t backendCore = 0;
+
+    uint64_t
+    bucketSum() const
+    {
+        return retiring + frontend + badSpec + backendMem + backendCore;
+    }
+
+    /** The exactness invariant: buckets partition the cycle count. */
+    bool sumsExactly() const { return bucketSum() == cycles; }
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instrs) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** Bucket share of total cycles, in [0,1]. */
+    double share(uint64_t bucket) const;
+
+    /**
+     * Rebuild a stack from a counter snapshot: reads
+     * "<prefix>.cycles", "<prefix>.instrs" and the
+     * "<prefix>.topdown.*" bucket counters (the names collectCore
+     * emits).
+     */
+    static CpiStack fromCounters(const CounterSnapshot &snap,
+                                 const std::string &prefix);
+
+    /** Fixed-width human-readable table (deterministic output). */
+    std::string table(const std::string &title) const;
+
+    /** Compact JSON object. */
+    std::string toJson() const;
+};
+
+} // namespace minjie::obs
+
+#endif // MINJIE_OBS_TOPDOWN_H

@@ -1,0 +1,48 @@
+#include "obs/trace.h"
+
+namespace minjie::obs {
+
+const char *
+evName(Ev kind)
+{
+    switch (kind) {
+      case Ev::Fetch: return "fetch";
+      case Ev::Rename: return "rename";
+      case Ev::Issue: return "issue";
+      case Ev::Commit: return "commit";
+      case Ev::CacheMiss: return "cache_miss";
+      case Ev::CacheTxn: return "cache_txn";
+      case Ev::TlbWalk: return "tlb_walk";
+      case Ev::StoreDrain: return "store_drain";
+      case Ev::Block: return "block";
+      case Ev::FaultInject: return "fault_inject";
+      case Ev::Divergence: return "divergence";
+    }
+    return "unknown";
+}
+
+std::vector<TraceEvent>
+TraceBuffer::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    size_t start = (head_ + ring_.size() - size_) % ring_.size();
+    for (size_t i = 0; i < size_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+std::vector<TraceEvent>
+TraceBuffer::lastK(size_t k) const
+{
+    if (k > size_)
+        k = size_;
+    std::vector<TraceEvent> out;
+    out.reserve(k);
+    size_t start = (head_ + ring_.size() - k) % ring_.size();
+    for (size_t i = 0; i < k; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+} // namespace minjie::obs

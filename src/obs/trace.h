@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Fixed-capacity ring-buffer event tracer: typed pipeline/memory
+ * records cheap enough to leave attached during co-simulation
+ * (FERIVer-style always-on capture around the DiffTest boundary).
+ *
+ * Fork-safety contract (MJ-FRK): record() touches only pre-allocated
+ * memory — no locks, no heap growth, no stdio — so a LightSSS fork can
+ * happen between any two events and both processes keep consistent,
+ * independent buffers. All allocation happens once, in the
+ * constructor; all I/O lives in the serialization helpers the *driver*
+ * calls after the run (see serialize.h).
+ */
+
+#ifndef MINJIE_OBS_TRACE_H
+#define MINJIE_OBS_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace minjie::obs {
+
+/** Typed trace-event kinds. Values are part of the .mjt format. */
+enum class Ev : uint8_t {
+    Fetch = 0,       ///< pc fetched; arg0 = fetch-group size
+    Rename = 1,      ///< uop renamed/dispatched; arg0 = rob occupancy
+    Issue = 2,       ///< uop issued; arg0 = issue latency
+    Commit = 3,      ///< instruction retired; arg0 = rdValue, arg1 = rd
+    CacheMiss = 4,   ///< arg0 = line addr, arg1 = level (1/2/3)
+    CacheTxn = 5,    ///< coherence txn; arg0 = line, arg1 = kind
+    TlbWalk = 6,     ///< page-table walk; arg0 = vaddr
+    StoreDrain = 7,  ///< store buffer drain; arg0 = paddr, arg1 = data
+    Block = 8,       ///< REF basic block; arg0 = length
+    FaultInject = 9, ///< test-only fault hook fired; arg0 = detail
+    Divergence = 10, ///< DiffTest mismatch; arg0 = instr count
+};
+
+/** Printable name for an event kind (stable, used in reports). */
+const char *evName(Ev kind);
+
+/** One trace record; fixed 32-byte layout, POD. */
+struct TraceEvent
+{
+    Cycle cycle = 0;   ///< DUT cycle (or REF instruction index)
+    Addr pc = 0;       ///< program counter associated with the event
+    uint64_t arg0 = 0; ///< kind-specific payload (see Ev)
+    uint32_t arg1 = 0; ///< kind-specific payload (see Ev)
+    Ev kind = Ev::Fetch;
+    uint8_t hart = 0;  ///< originating hart
+    uint16_t aux = 0;  ///< kind-specific small payload
+};
+
+/**
+ * Pre-allocated ring buffer of TraceEvents. Capacity is fixed at
+ * construction; once full, new events overwrite the oldest, so the
+ * buffer always holds the most recent window — exactly what a
+ * divergence post-mortem needs.
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity)
+        : ring_(capacity ? capacity : 1)
+    {
+    }
+
+    /** Append one event; O(1), no allocation, fork-safe. */
+    void
+    record(const TraceEvent &e)
+    {
+        ring_[head_] = e;
+        head_ = (head_ + 1) % ring_.size();
+        if (size_ < ring_.size())
+            ++size_;
+        ++recorded_;
+    }
+
+    void
+    record(Ev kind, Cycle cycle, Addr pc, uint64_t arg0 = 0,
+           uint32_t arg1 = 0, uint8_t hart = 0, uint16_t aux = 0)
+    {
+        TraceEvent e;
+        e.cycle = cycle;
+        e.pc = pc;
+        e.arg0 = arg0;
+        e.arg1 = arg1;
+        e.kind = kind;
+        e.hart = hart;
+        e.aux = aux;
+        record(e);
+    }
+
+    size_t capacity() const { return ring_.size(); }
+    size_t size() const { return size_; }
+
+    /** Total events ever recorded, including overwritten ones. */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Events in recording order, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    /** The most recent @p k events, oldest first. */
+    std::vector<TraceEvent> lastK(size_t k) const;
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+        recorded_ = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> ring_;
+    size_t head_ = 0;
+    size_t size_ = 0;
+    uint64_t recorded_ = 0;
+};
+
+} // namespace minjie::obs
+
+#endif // MINJIE_OBS_TRACE_H

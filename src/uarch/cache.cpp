@@ -86,9 +86,20 @@ Cache::flushAll()
 void
 Cache::setTxnLog(TxnLog log)
 {
-    txnLog_ = log;
+    txnLogs_.clear();
+    if (log)
+        txnLogs_.push_back(log);
     for (auto *c : children_)
         c->setTxnLog(log);
+}
+
+void
+Cache::addTxnLog(TxnLog log)
+{
+    if (log)
+        txnLogs_.push_back(log);
+    for (auto *c : children_)
+        c->addTxnLog(log);
 }
 
 unsigned

@@ -150,8 +150,14 @@ class Cache
     const std::string &name() const { return name_; }
     const CacheCfg &cfg() const { return cfg_; }
 
-    /** Install a transaction observer on this level and below. */
+    /** Install a transaction observer on this level and below,
+     *  replacing any previously installed observers. */
     void setTxnLog(TxnLog log);
+
+    /** Add a transaction observer on this level and below, keeping the
+     *  existing ones (DiffTest's scoreboard and the obs tracer can
+     *  watch the same hierarchy). */
+    void addTxnLog(TxnLog log);
 
   private:
     struct Line
@@ -198,8 +204,8 @@ class Cache
     void
     log(TxnKind kind, Addr line, Cycle at) const
     {
-        if (txnLog_)
-            txnLog_({kind, line, this, name_.c_str(), at});
+        for (const auto &observer : txnLogs_)
+            observer({kind, line, this, name_.c_str(), at});
     }
 
     std::string name_;
@@ -213,7 +219,7 @@ class Cache
     Addr lineMask_;
     uint64_t tick_ = 0;
     CacheStats stats_;
-    TxnLog txnLog_;
+    std::vector<TxnLog> txnLogs_;
 };
 
 } // namespace minjie::uarch

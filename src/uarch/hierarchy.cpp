@@ -56,21 +56,33 @@ MemHierarchy::MemHierarchy(const MemCfg &cfg, unsigned nCores) : cfg_(cfg)
 unsigned
 MemHierarchy::fetch(HartId core, Addr vaddr, Addr paddr, Cycle now)
 {
-    unsigned tlbLat = itlb_[core]->access(vaddr);
+    bool walked = false;
+    unsigned tlbLat = itlb_[core]->access(vaddr, &walked);
+    if (walked && trace_)
+        trace_->record(obs::Ev::TlbWalk, now, vaddr, vaddr, 0,
+                       static_cast<uint8_t>(core), /*itlb=*/1);
     return tlbLat + l1i_[core]->access(paddr, false, now + tlbLat);
 }
 
 unsigned
 MemHierarchy::load(HartId core, Addr vaddr, Addr paddr, Cycle now)
 {
-    unsigned tlbLat = dtlb_[core]->access(vaddr);
+    bool walked = false;
+    unsigned tlbLat = dtlb_[core]->access(vaddr, &walked);
+    if (walked && trace_)
+        trace_->record(obs::Ev::TlbWalk, now, vaddr, vaddr, 0,
+                       static_cast<uint8_t>(core));
     return tlbLat + l1d_[core]->access(paddr, false, now + tlbLat);
 }
 
 unsigned
 MemHierarchy::store(HartId core, Addr vaddr, Addr paddr, Cycle now)
 {
-    unsigned tlbLat = dtlb_[core]->access(vaddr);
+    bool walked = false;
+    unsigned tlbLat = dtlb_[core]->access(vaddr, &walked);
+    if (walked && trace_)
+        trace_->record(obs::Ev::TlbWalk, now, vaddr, vaddr, 0,
+                       static_cast<uint8_t>(core));
     return tlbLat + l1d_[core]->access(paddr, true, now + tlbLat);
 }
 
@@ -91,6 +103,17 @@ MemHierarchy::setTxnLog(TxnLog log)
     }
     for (auto &l2 : l2_)
         l2->setTxnLog(log);
+}
+
+void
+MemHierarchy::addTxnLog(TxnLog log)
+{
+    if (l3_) {
+        l3_->addTxnLog(log);
+        return; // propagates to children
+    }
+    for (auto &l2 : l2_)
+        l2->addTxnLog(log);
 }
 
 } // namespace minjie::uarch

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/trace.h"
 #include "uarch/cache.h"
 #include "uarch/tlb.h"
 
@@ -56,6 +57,12 @@ class MemHierarchy
 
     void setTxnLog(TxnLog log);
 
+    /** Add an observer without disturbing installed ones. */
+    void addTxnLog(TxnLog log);
+
+    /** Attach an event tracer for TLB-walk events (null detaches). */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
     Cache &l1d(HartId core) { return *l1d_[core]; }
     Cache &l1i(HartId core) { return *l1i_[core]; }
     Cache *l2(HartId core)
@@ -81,6 +88,7 @@ class MemHierarchy
     std::unique_ptr<TimingTlb> stlb_;
     std::vector<std::unique_ptr<TlbPath>> itlb_;
     std::vector<std::unique_ptr<TlbPath>> dtlb_;
+    obs::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace minjie::uarch

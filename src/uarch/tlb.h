@@ -112,9 +112,11 @@ class TlbPath
     {
     }
 
-    /** Latency to translate the page containing @p vaddr. */
+    /** Latency to translate the page containing @p vaddr.
+     *  @param walked  optional out: set when a page-table walk ran
+     *                 (both TLB levels missed) */
     unsigned
-    access(Addr vaddr)
+    access(Addr vaddr, bool *walked = nullptr)
     {
         Addr vpn = vaddr >> 12;
         if (l1_.lookup(vpn))
@@ -123,6 +125,8 @@ class TlbPath
         if (!stlb_.lookup(vpn)) {
             lat += walkLatency_;
             stlb_.insert(vpn);
+            if (walked)
+                *walked = true;
         }
         l1_.insert(vpn);
         return lat;

@@ -224,6 +224,29 @@ Core::oracleStep(Rec &rec)
         return true;
     }
 
+    // Test-only drop-store hook: snapshot the memory the next plain
+    // store will overwrite so it can be reverted after execution. The
+    // oracle then behaves as if the store was lost in the store path;
+    // the first dependent load commits stale data and DiffTest flags
+    // the rd mismatch against the REF.
+    bool dropThisStore = false;
+    Addr dropVaddr = 0;
+    uint64_t dropOld = 0;
+    unsigned dropSize = 0;
+    if (dropStorePending_ && isStore(rec.di.op) && !isAmo(rec.di.op) &&
+        !isSc(rec.di.op)) {
+        switch (rec.di.op) {
+          case Op::Sb: dropSize = 1; break;
+          case Op::Sh: dropSize = 2; break;
+          case Op::Sw: case Op::Fsw: dropSize = 4; break;
+          default: dropSize = 8; break; // Sd / Fsd
+        }
+        dropVaddr = oracle_.x[rec.di.rs1] +
+                    static_cast<uint64_t>(rec.di.imm);
+        if (!mmu_.load(dropVaddr, dropSize, dropOld).pending())
+            dropThisStore = true;
+    }
+
     ExecInfo info;
     Trap et = execInst(oracle_, mmu_, rec.di, fp::FpBackend::Host, &info);
     if (et.pending()) {
@@ -285,6 +308,16 @@ Core::oracleStep(Rec &rec)
                 }
             }
         }
+    }
+
+    if (dropThisStore && !rec.trapped && info.memValid && info.isStore &&
+        !info.isMmio) {
+        mmu_.store(dropVaddr, dropSize, dropOld);
+        dropStorePending_ = false;
+        if (trace_)
+            trace_->record(obs::Ev::FaultInject, now_, rec.pc,
+                           info.memPaddr, /*drop-store=*/1,
+                           static_cast<uint8_t>(hart_));
     }
 
     if (haltFn_ && haltFn_())
@@ -453,6 +486,9 @@ Core::doFetch()
             break;
         }
         ++perf_.fetchedInstrs;
+        if (trace_)
+            trace_->record(obs::Ev::Fetch, now_, rec.pc, rec.seq, 0,
+                           static_cast<uint8_t>(hart_));
 
         // Instruction-cache timing, once per touched line.
         Addr line = rec.pc & ~63ULL;
@@ -609,6 +645,10 @@ Core::doDispatch()
         rob_.push_back(std::move(rec));
         fetchBuffer_.pop_front();
         Rec &placed = rob_.back();
+        if (trace_)
+            trace_->record(obs::Ev::Rename, now_, placed.pc,
+                           static_cast<uint64_t>(rob_.size()), 0,
+                           static_cast<uint8_t>(hart_));
 
         if (fused) {
             ++perf_.fusedPairs;
@@ -746,6 +786,11 @@ Core::doIssue()
             r->completedAt = now_ + std::max(1u, lat);
             if (!fu.pipelined)
                 fuBusyUntil_[ft][unit] = r->completedAt;
+            if (trace_)
+                trace_->record(obs::Ev::Issue, now_, r->pc, seq,
+                               static_cast<uint32_t>(r->completedAt -
+                                                     now_),
+                               static_cast<uint8_t>(hart_));
 
             // A fused follower completes with its leader.
             Rec *next = recBySeq(seq + 1);
@@ -776,9 +821,12 @@ Core::drainStoreBuffer()
     }
     if (storeHook_)
         storeHook_({hart_, ps.paddr, ps.data, ps.size});
+    if (trace_)
+        trace_->record(obs::Ev::StoreDrain, now_, ps.vaddr, ps.data,
+                       ps.size, static_cast<uint8_t>(hart_));
 }
 
-void
+unsigned
 Core::doCommit()
 {
     unsigned committed = 0;
@@ -823,7 +871,27 @@ Core::doCommit()
             faultMask_ = 0;
         }
 
+        if (commitFaultMask_ && rec.probe.rdWritten) {
+            // Test-only fault hook: the DUT-visible committed register
+            // value is corrupted; the oracle stays correct, so DiffTest
+            // must flag this very commit.
+            rec.probe.rdValue ^= commitFaultMask_;
+            commitFaultMask_ = 0;
+            if (trace_)
+                trace_->record(obs::Ev::FaultInject, now_, rec.pc,
+                               rec.probe.rdValue, 0,
+                               static_cast<uint8_t>(hart_));
+        }
+
         trainPredictors(rec);
+        // Trace the commit before the hook runs: DiffTest checks the
+        // probe inside the hook and snapshots the trace window at the
+        // first mismatch, so the divergent commit must already be in
+        // the ring.
+        if (trace_)
+            trace_->record(obs::Ev::Commit, now_, rec.pc,
+                           rec.probe.rdValue, rec.probe.rd,
+                           static_cast<uint8_t>(hart_));
         if (commitHook_)
             commitHook_(rec.probe);
 
@@ -862,12 +930,40 @@ Core::doCommit()
 
         rob_.pop_front();
     }
+    return committed;
+}
+
+void
+Core::classifyCycle(unsigned committed)
+{
+    // Exclusive attribution: exactly one bucket per cycle, so the
+    // buckets sum to perf_.cycles by construction. Priority follows
+    // the top-down method: retiring wins; otherwise blame the oldest
+    // in-flight instruction; an empty window is the frontend's fault
+    // unless fetch is deliberately parked behind a mispredicted branch
+    // (bad speculation) or a serializing instruction (core-bound).
+    if (committed > 0) {
+        ++perf_.tdRetiring;
+    } else if (!rob_.empty()) {
+        const Rec &head = rob_.front();
+        if (head.isLoad || head.isStore)
+            ++perf_.tdBackendMem;
+        else
+            ++perf_.tdBackendCore;
+    } else if (mispredictWaitSeq_ != 0) {
+        ++perf_.tdBadSpec;
+    } else if (serializeWaitSeq_ != 0) {
+        ++perf_.tdBackendCore;
+    } else {
+        ++perf_.tdFrontend;
+    }
 }
 
 void
 Core::tick()
 {
-    doCommit();
+    unsigned committed = doCommit();
+    classifyCycle(committed);
     drainStoreBuffer();
     doIssue();
     doDispatch();

@@ -29,6 +29,7 @@
 #include "difftest/probes.h"
 #include "iss/exec.h"
 #include "iss/system.h"
+#include "obs/trace.h"
 #include "uarch/predictors.h"
 #include "xiangshan/config.h"
 
@@ -62,6 +63,17 @@ struct PerfCounters
     static constexpr unsigned READY_BUCKETS = 9; // 0..7, 8+
     uint64_t readyHist[READY_BUCKETS] = {};
     uint64_t readySamples = 0;
+
+    /**
+     * Top-down CPI stack (arXiv:2106.09991 style): every cycle is
+     * attributed to exactly one bucket, so the five buckets always sum
+     * to `cycles` exactly — the invariant the obs layer reports on.
+     */
+    uint64_t tdRetiring = 0;    ///< at least one instruction committed
+    uint64_t tdFrontend = 0;    ///< window empty, fetch not supplying
+    uint64_t tdBadSpec = 0;     ///< window empty behind a mispredict
+    uint64_t tdBackendMem = 0;  ///< ROB head is a stalled load/store
+    uint64_t tdBackendCore = 0; ///< ROB head stalled on execution
 
     double
     ipc() const
@@ -148,6 +160,26 @@ class Core
     void injectLoadFault(uint64_t xorMask) { faultMask_ = xorMask; }
 
     /**
+     * Test-only fault hook: flip bits of the next committed register
+     * write (the DUT-visible probe value), modeling a datapath bug the
+     * checkers must catch at that very commit.
+     */
+    void injectCommitFault(uint64_t xorMask)
+    {
+        commitFaultMask_ = xorMask;
+    }
+
+    /**
+     * Test-only fault hook: silently drop the next plain store (the
+     * oracle's memory write is reverted), modeling a lost store-buffer
+     * entry. Divergence surfaces at the next dependent load.
+     */
+    void injectDropStore() { dropStorePending_ = true; }
+
+    /** Attach an event tracer (null detaches; owned by the caller). */
+    void setTrace(obs::TraceBuffer *trace) { trace_ = trace; }
+
+    /**
      * Make the next load raise a spurious page fault, modeling the
      * Figure 3 scenario: a stale/speculative TLB entry makes the DUT
      * fault where an architectural reference would not. The oracle
@@ -208,11 +240,14 @@ class Core
     };
 
     // ---- pipeline stages (called in reverse order each tick) ----
-    void doCommit();
+    unsigned doCommit(); ///< @return instructions committed this cycle
     void drainStoreBuffer();
     void doIssue();
     void doDispatch();
     void doFetch();
+
+    /** Charge this cycle to exactly one top-down bucket. */
+    void classifyCycle(unsigned committed);
 
     /** Functionally execute the next oracle instruction into @p rec.
      *  @return false when the oracle cannot make progress. */
@@ -277,6 +312,9 @@ class Core
     const std::vector<Core *> *peers_ = nullptr;
     uint64_t faultMask_ = 0;
     bool injectPageFault_ = false;
+    uint64_t commitFaultMask_ = 0;
+    bool dropStorePending_ = false;
+    obs::TraceBuffer *trace_ = nullptr;
 
     Cycle now_ = 0;
     PerfCounters perf_;

@@ -97,6 +97,49 @@ TEST(SimPoint, EmptyInputHandled)
     EXPECT_TRUE(sp.intervals.empty());
 }
 
+TEST(BbvCollector, FinishIsIdempotentAndResetsForResume)
+{
+    BbvCollector c(1000);
+    c.onBlock(0x1000, 600);
+    c.finish();
+    ASSERT_EQ(c.intervals().size(), 1u);
+    c.finish(); // second call: no pending work, no phantom interval
+    EXPECT_EQ(c.intervals().size(), 1u);
+
+    // Resumed profiling starts a fresh count: 600 more instructions
+    // must NOT close an interval (a stale executed_ would).
+    c.onBlock(0x1000, 600);
+    EXPECT_EQ(c.intervals().size(), 1u);
+    c.onBlock(0x1000, 500); // now 1100 >= 1000 -> closes
+    EXPECT_EQ(c.intervals().size(), 2u);
+}
+
+TEST(SimPoint, ClusteringInvariantUnderInsertionOrder)
+{
+    // Bbv is a sorted map precisely so the float accumulation in the
+    // random projection never depends on how the profile was built.
+    Rng rng(0x7a);
+    std::vector<Bbv> fwd, rev;
+    for (int i = 0; i < 12; ++i) {
+        std::vector<std::pair<Addr, uint64_t>> items;
+        for (int j = 0; j < 10; ++j)
+            items.push_back({0x1000 + rng.below(64) * 4,
+                             rng.range(1, 500)});
+        Bbv a, b;
+        for (const auto &[pc, n] : items)
+            a[pc] += n;
+        for (auto it = items.rbegin(); it != items.rend(); ++it)
+            b[it->first] += it->second;
+        fwd.push_back(std::move(a));
+        rev.push_back(std::move(b));
+    }
+    auto sa = simpoint(fwd, 3);
+    auto sb = simpoint(rev, 3);
+    EXPECT_EQ(sa.intervals, sb.intervals);
+    EXPECT_EQ(sa.assignment, sb.assignment);
+    EXPECT_EQ(sa.weights, sb.weights);
+}
+
 TEST(WeightedCpi, Basics)
 {
     EXPECT_DOUBLE_EQ(weightedCpi({2.0, 4.0}, {0.5, 0.5}), 3.0);

@@ -1,0 +1,49 @@
+/**
+ * Campaign perf aggregation: the merged counter snapshot of a --perf
+ * campaign is a pure function of the seed range — worker count changes
+ * throughput, never the summary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::obs;
+
+TEST(CampaignPerf, WorkerCountInvariant)
+{
+    campaign::CampaignConfig cfg;
+    cfg.seedCount = 6;
+    cfg.nInsts = 150;
+    cfg.difftestPct = 100; // every job collects a DUT perf summary
+    cfg.perf = true;
+    cfg.shrinkFailures = false;
+
+    cfg.workers = 1;
+    campaign::CampaignReport one = campaign::runCampaign(cfg);
+    cfg.workers = 4;
+    campaign::CampaignReport four = campaign::runCampaign(cfg);
+
+    EXPECT_EQ(one.failures, 0u);
+    EXPECT_EQ(four.failures, 0u);
+
+    CounterSnapshot a = one.perfCounters();
+    CounterSnapshot b = four.perfCounters();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.toJson(), b.toJson()); // serialized form too
+    EXPECT_EQ(a.get("dut.jobs"), cfg.seedCount);
+    EXPECT_GT(a.get("dut.cycles"), 0u);
+
+    // The merged buckets inherit the per-core exactness invariant.
+    EXPECT_EQ(a.get("dut.topdown.retiring") +
+                  a.get("dut.topdown.frontend") +
+                  a.get("dut.topdown.bad_speculation") +
+                  a.get("dut.topdown.backend_memory") +
+                  a.get("dut.topdown.backend_core"),
+              a.get("dut.cycles"));
+}
+
+} // namespace

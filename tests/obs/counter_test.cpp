@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "obs/counter.h"
+
+namespace {
+
+using namespace minjie;
+using namespace minjie::obs;
+
+TEST(CounterGroup, FlattensWithDottedPaths)
+{
+    CounterGroup root("core0");
+    root.set("cycles", 100);
+    root.group("frontend").set("fetch_stall_cycles", 7);
+    root.group("frontend").add("fetch_stall_cycles", 3);
+    root.group("mmu").set("tlb_hits", 42);
+
+    CounterSnapshot s = root.snapshot();
+    EXPECT_EQ(s.get("core0.cycles"), 100u);
+    EXPECT_EQ(s.get("core0.frontend.fetch_stall_cycles"), 10u);
+    EXPECT_EQ(s.get("core0.mmu.tlb_hits"), 42u);
+    EXPECT_EQ(s.values.size(), 3u);
+}
+
+TEST(CounterGroup, EmptyRootNameOmitsPrefix)
+{
+    CounterGroup root;
+    root.group("nemu").set("uop_hits", 5);
+    CounterSnapshot s = root.snapshot();
+    EXPECT_TRUE(s.has("nemu.uop_hits"));
+    EXPECT_FALSE(s.has(".nemu.uop_hits"));
+}
+
+TEST(CounterSnapshot, SnapshotIsSorted)
+{
+    CounterGroup root("g");
+    root.set("zebra", 1);
+    root.set("alpha", 2);
+    root.group("mid").set("x", 3);
+
+    CounterSnapshot s = root.snapshot();
+    std::string prev;
+    for (const auto &[k, v] : s.values) {
+        EXPECT_LT(prev, k); // strictly ascending key order
+        prev = k;
+    }
+}
+
+TEST(CounterSnapshot, MergeIsCommutativePerKeySum)
+{
+    CounterSnapshot a, b;
+    a.set("x", 3);
+    a.set("only_a", 1);
+    b.set("x", 4);
+    b.set("only_b", 2);
+
+    CounterSnapshot ab = a, ba = b;
+    ab.merge(b);
+    ba.merge(a);
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(ab.get("x"), 7u);
+    EXPECT_EQ(ab.get("only_a"), 1u);
+    EXPECT_EQ(ab.get("only_b"), 2u);
+}
+
+TEST(CounterSnapshot, MergeGroupingInvariance)
+{
+    // Aggregating shards in any grouping yields identical totals —
+    // the property behind worker-count-invariant campaign summaries.
+    std::vector<CounterSnapshot> shards(4);
+    for (size_t i = 0; i < shards.size(); ++i) {
+        shards[i].set("cycles", 100 * (i + 1));
+        shards[i].set("jobs", 1);
+    }
+
+    CounterSnapshot oneWorker; // sequential: (((s0+s1)+s2)+s3)
+    for (const auto &s : shards)
+        oneWorker.merge(s);
+
+    CounterSnapshot left, right, fourWorkers; // pairwise tree
+    left.merge(shards[0]);
+    left.merge(shards[2]);
+    right.merge(shards[3]);
+    right.merge(shards[1]);
+    fourWorkers.merge(right);
+    fourWorkers.merge(left);
+
+    EXPECT_EQ(oneWorker, fourWorkers);
+    EXPECT_EQ(oneWorker.get("jobs"), 4u);
+    EXPECT_EQ(oneWorker.get("cycles"), 1000u);
+}
+
+TEST(CounterSnapshot, DeltaClampsAtZero)
+{
+    CounterSnapshot now, earlier;
+    now.set("up", 10);
+    earlier.set("up", 4);
+    earlier.set("gone", 9); // counter vanished (e.g. cleared tree)
+
+    CounterSnapshot d = now.delta(earlier);
+    EXPECT_EQ(d.get("up"), 6u);
+    EXPECT_EQ(d.get("gone"), 0u);
+}
+
+TEST(CounterSnapshot, ToJsonIsKeyOrdered)
+{
+    CounterSnapshot s;
+    s.set("b", 2);
+    s.set("a", 1);
+    EXPECT_EQ(s.toJson(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(CounterGroup, ClearEmptiesSubtree)
+{
+    CounterGroup root("r");
+    root.set("x", 1);
+    root.group("child").set("y", 2);
+    root.clear();
+    EXPECT_TRUE(root.snapshot().values.empty());
+}
+
+} // namespace

@@ -50,6 +50,9 @@ usage()
         "  --nemu-no-fastpath\n"
         "                   ablate NEMU's memory fast path (host TLB +\n"
         "                   direct DRAM) in lockstep jobs\n"
+        "  --perf           collect per-job DUT perf summaries for\n"
+        "                   DiffTest jobs (top-down buckets, ipc) and\n"
+        "                   a merged aggregate in the JSON report\n"
         "  --no-shrink      skip delta-debugging of failures\n"
         "  --corpus-dir D   write minimized failures into D as .mjc\n"
         "  --out FILE       write the JSON report to FILE (default\n"
@@ -152,6 +155,8 @@ main(int argc, char **argv)
             cfg.lockstep.nemuChain = false;
         } else if (a == "--nemu-no-fastpath") {
             cfg.lockstep.nemuFastPath = false;
+        } else if (a == "--perf") {
+            cfg.perf = true;
         } else if (a == "--no-shrink") {
             cfg.shrinkFailures = false;
         } else if (a == "--corpus-dir" && (v = next())) {
@@ -195,6 +200,18 @@ main(int argc, char **argv)
                     b.shrunkInsts,
                     b.corpusFile.empty() ? "" : " -> ",
                     b.corpusFile.c_str());
+    }
+
+    if (cfg.perf) {
+        obs::CounterSnapshot agg = rep.perfCounters();
+        std::printf("campaign: perf aggregate over %llu difftest jobs: "
+                    "%llu cycles, %llu instrs\n",
+                    static_cast<unsigned long long>(
+                        agg.get("dut.jobs")),
+                    static_cast<unsigned long long>(
+                        agg.get("dut.cycles")),
+                    static_cast<unsigned long long>(
+                        agg.get("dut.instrs")));
     }
 
     if (outFile == "-") {
