@@ -1,0 +1,285 @@
+#include "analysis/cache.h"
+
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace minjie::analysis {
+
+namespace {
+
+constexpr std::string_view MAGIC = "minjie-lint-cache v1";
+
+/** \-escape tabs/newlines/backslashes so any string fits one field. */
+std::string
+esc(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '\t': out += "\\t"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+unesc(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (size_t i = 0; i < s.size(); ++i) {
+        if (s[i] != '\\' || i + 1 >= s.size()) {
+            out += s[i];
+            continue;
+        }
+        switch (s[++i]) {
+        case '\\': out += '\\'; break;
+        case 't': out += '\t'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        default: out += s[i];
+        }
+    }
+    return out;
+}
+
+/** Views into @p line — valid only while the line buffer lives. */
+std::vector<std::string_view>
+splitTabs(std::string_view line)
+{
+    std::vector<std::string_view> out;
+    size_t start = 0;
+    while (true) {
+        size_t tab = line.find('\t', start);
+        if (tab == std::string_view::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, tab - start));
+        start = tab + 1;
+    }
+}
+
+std::string
+joinComma(const std::vector<std::string> &v)
+{
+    std::string out;
+    for (const std::string &s : v) {
+        if (!out.empty())
+            out += ",";
+        out += esc(s); // names never contain ',' post-escape in practice
+    }
+    return out.empty() ? "-" : out;
+}
+
+std::vector<std::string>
+splitComma(std::string_view s)
+{
+    std::vector<std::string> out;
+    if (s == "-")
+        return out;
+    size_t start = 0;
+    while (true) {
+        size_t c = s.find(',', start);
+        if (c == std::string_view::npos) {
+            out.push_back(unesc(s.substr(start)));
+            return out;
+        }
+        out.push_back(unesc(s.substr(start, c - start)));
+        start = c + 1;
+    }
+}
+
+uint64_t
+toU64(std::string_view s)
+{
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            break;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+}
+
+uint32_t
+toU32(std::string_view s)
+{
+    return static_cast<uint32_t>(toU64(s));
+}
+
+} // namespace
+
+bool
+AnalysisCache::load(const std::string &path)
+{
+    tus_.clear();
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line != MAGIC)
+        return false;
+
+    CachedTu cur;
+    bool open = false;
+    FunctionIndex *fn = nullptr;
+
+    auto commit = [&]() {
+        if (open)
+            tus_.emplace(cur.path, std::move(cur));
+        cur = CachedTu();
+        fn = nullptr;
+        open = false;
+    };
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string_view> f = splitTabs(line);
+        std::string_view tag = f[0];
+        if (tag == "file" && f.size() >= 3) {
+            commit();
+            cur.path = unesc(f[1]);
+            cur.hash = toU64(f[2]);
+            cur.index.path = cur.path;
+            open = true;
+        } else if (!open) {
+            tus_.clear();
+            return false;
+        } else if (tag == "N" && f.size() >= 2) {
+            cur.suppressedInline = toU64(f[1]);
+        } else if (tag == "S" && f.size() >= 3) {
+            cur.supEntries.push_back({toU32(f[1]), unesc(f[2])});
+        } else if (tag == "X" && f.size() >= 6) {
+            Finding fd;
+            fd.ruleId = unesc(f[1]);
+            fd.path = cur.path;
+            fd.line = toU32(f[2]);
+            fd.col = toU32(f[3]);
+            fd.message = unesc(f[4]);
+            fd.snippet = unesc(f[5]);
+            cur.findings.push_back(std::move(fd));
+        } else if (tag == "U" && f.size() >= 2) {
+            cur.index.unorderedNames.push_back(unesc(f[1]));
+        } else if (tag == "L" && f.size() >= 2) {
+            cur.index.lockNames.push_back(unesc(f[1]));
+        } else if (tag == "V" && f.size() >= 3) {
+            cur.index.varTypes.emplace_back(unesc(f[1]), unesc(f[2]));
+        } else if (tag == "F" && f.size() >= 4) {
+            FunctionIndex fi;
+            fi.line = toU32(f[1]);
+            fi.qualName = unesc(f[2]);
+            fi.name = unesc(f[3]);
+            cur.index.functions.push_back(std::move(fi));
+            fn = &cur.index.functions.back();
+        } else if (fn == nullptr) {
+            tus_.clear();
+            return false;
+        } else if (tag == "C" && f.size() >= 7) {
+            CallEvent c;
+            c.line = toU32(f[1]);
+            c.name = unesc(f[2]);
+            c.qualHint = f[3] == "-" ? "" : unesc(f[3]);
+            c.firstArg = f[4] == "-" ? "" : unesc(f[4]);
+            c.member = f[5] == "1";
+            c.heldLocks = splitComma(f[6]);
+            if (f.size() >= 8 && f[7] != "-")
+                c.recv = unesc(f[7]);
+            fn->calls.push_back(std::move(c));
+        } else if (tag == "K" && f.size() >= 4) {
+            LockEvent l;
+            l.line = toU32(f[1]);
+            l.lockName = unesc(f[2]);
+            l.heldBefore = splitComma(f[3]);
+            fn->locks.push_back(std::move(l));
+        } else if (tag == "D" && f.size() >= 3) {
+            fn->detSources.push_back({unesc(f[2]), toU32(f[1])});
+        } else if (tag == "I" && f.size() >= 3) {
+            IterEvent e;
+            e.line = toU32(f[1]);
+            e.names = splitComma(f[2]);
+            fn->iterUses.push_back(std::move(e));
+        } else if (tag == "W" && f.size() >= 3) {
+            fn->archWrites.push_back({unesc(f[2]), toU32(f[1])});
+        }
+        // Unknown tags are skipped: forward-compatible within v1.
+    }
+    commit();
+    return true;
+}
+
+bool
+AnalysisCache::write(const std::string &path) const
+{
+    std::ostringstream out;
+    out << MAGIC << "\n";
+    for (const auto &[rel, tu] : tus_) {
+        out << "file\t" << esc(rel) << "\t" << tu.hash << "\n";
+        out << "N\t" << tu.suppressedInline << "\n";
+        for (const auto &e : tu.supEntries)
+            out << "S\t" << e.line << "\t" << esc(e.ruleId) << "\n";
+        for (const Finding &fd : tu.findings)
+            out << "X\t" << esc(fd.ruleId) << "\t" << fd.line << "\t"
+                << fd.col << "\t" << esc(fd.message) << "\t"
+                << esc(fd.snippet) << "\n";
+        for (const std::string &u : tu.index.unorderedNames)
+            out << "U\t" << esc(u) << "\n";
+        for (const std::string &l : tu.index.lockNames)
+            out << "L\t" << esc(l) << "\n";
+        for (const auto &[var, type] : tu.index.varTypes)
+            out << "V\t" << esc(var) << "\t" << esc(type) << "\n";
+        for (const FunctionIndex &fi : tu.index.functions) {
+            out << "F\t" << fi.line << "\t" << esc(fi.qualName) << "\t"
+                << esc(fi.name) << "\n";
+            for (const CallEvent &c : fi.calls)
+                out << "C\t" << c.line << "\t" << esc(c.name) << "\t"
+                    << (c.qualHint.empty() ? "-" : esc(c.qualHint))
+                    << "\t"
+                    << (c.firstArg.empty() ? "-" : esc(c.firstArg))
+                    << "\t" << (c.member ? "1" : "0") << "\t"
+                    << joinComma(c.heldLocks) << "\t"
+                    << (c.recv.empty() ? "-" : esc(c.recv)) << "\n";
+            for (const LockEvent &l : fi.locks)
+                out << "K\t" << l.line << "\t" << esc(l.lockName)
+                    << "\t" << joinComma(l.heldBefore) << "\n";
+            for (const DetEvent &d : fi.detSources)
+                out << "D\t" << d.line << "\t" << esc(d.what) << "\n";
+            for (const IterEvent &e : fi.iterUses)
+                out << "I\t" << e.line << "\t" << joinComma(e.names)
+                    << "\n";
+            for (const WriteEvent &w : fi.archWrites)
+                out << "W\t" << w.line << "\t" << esc(w.what) << "\n";
+        }
+    }
+
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        return false;
+    f << out.str();
+    return static_cast<bool>(f);
+}
+
+const CachedTu *
+AnalysisCache::lookup(const std::string &relPath, uint64_t hash) const
+{
+    auto it = tus_.find(relPath);
+    if (it == tus_.end() || it->second.hash != hash)
+        return nullptr;
+    return &it->second;
+}
+
+CachedTu &
+AnalysisCache::put(CachedTu tu)
+{
+    std::string key = tu.path;
+    return tus_[key] = std::move(tu);
+}
+
+} // namespace minjie::analysis

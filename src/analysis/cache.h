@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Incremental analysis cache: per-TU results keyed by a content hash.
+ *
+ * A warm entry replaces the expensive per-file work (lex + token
+ * rules + indexing) byte-for-byte: it stores the file's surviving
+ * findings (after inline suppression, before baseline), the inline
+ * suppression bookkeeping, and the full TuIndex so the whole-program
+ * model rebuilds without touching unchanged files. Graph findings are
+ * never cached — they depend on every TU, and recomputing them from
+ * cached indexes is cheap.
+ *
+ * The on-disk format is a versioned, line-oriented text file; any
+ * parse mismatch (version bump, truncation, hand edits) simply drops
+ * the cache and the next run is a cold run.
+ */
+
+#ifndef MINJIE_ANALYSIS_CACHE_H
+#define MINJIE_ANALYSIS_CACHE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.h"
+#include "analysis/index.h"
+#include "analysis/suppress.h"
+
+namespace minjie::analysis {
+
+/** Everything the engine learns about one file. */
+struct CachedTu
+{
+    std::string path; ///< repo-relative
+    uint64_t hash = 0; ///< fnv1a of the file bytes
+    std::vector<Finding> findings; ///< per-file, post-inline-suppression
+    uint64_t suppressedInline = 0;
+    std::vector<Suppressions::Entry> supEntries;
+    TuIndex index;
+};
+
+class AnalysisCache
+{
+  public:
+    /** Load @p path; false (and empty cache) on any mismatch. */
+    bool load(const std::string &path);
+
+    /** Persist every stored TU to @p path; false on I/O error. */
+    bool write(const std::string &path) const;
+
+    /** The cached record for @p relPath iff its hash still matches. */
+    const CachedTu *lookup(const std::string &relPath,
+                           uint64_t hash) const;
+
+    /** Mutable variant of lookup(): lets a hit be moved out instead of
+     *  deep-copied when the cache is about to be discarded anyway. */
+    CachedTu *lookupMutable(const std::string &relPath, uint64_t hash)
+    {
+        return const_cast<CachedTu *>(lookup(relPath, hash));
+    }
+
+    /** Store @p tu; the returned reference stays valid for the cache's
+     *  lifetime (map nodes are stable). */
+    CachedTu &put(CachedTu tu);
+
+    size_t size() const { return tus_.size(); }
+
+  private:
+    std::map<std::string, CachedTu> tus_;
+};
+
+} // namespace minjie::analysis
+
+#endif // MINJIE_ANALYSIS_CACHE_H

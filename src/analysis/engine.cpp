@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 
 #include "analysis/baseline.h"
+#include "analysis/callgraph.h"
 #include "analysis/suppress.h"
 
 namespace minjie::analysis {
@@ -35,6 +37,17 @@ sortFindings(std::vector<Finding> &v)
             return a.line < b.line;
         return a.ruleId < b.ruleId;
     });
+}
+
+std::string
+trimmed(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return std::string(s);
 }
 
 } // namespace
@@ -75,17 +88,18 @@ collectFiles(const EngineConfig &cfg)
 }
 
 Engine::Engine(EngineConfig cfg)
-    : cfg_(std::move(cfg)), rules_(makeDefaultRules())
+    : cfg_(std::move(cfg)), rules_(makeDefaultRules()),
+      graphRules_(makeGraphRules())
 {
 }
 
 bool
-Engine::ruleSelected(const Rule &r) const
+Engine::idSelected(std::string_view id) const
 {
     if (cfg_.onlyRules.empty())
         return true;
-    for (const std::string &id : cfg_.onlyRules)
-        if (r.id() == id)
+    for (const std::string &want : cfg_.onlyRules)
+        if (id == want)
             return true;
     return false;
 }
@@ -107,16 +121,19 @@ Engine::ruleApplies(const Rule &r, const std::string &relPath) const
     return false;
 }
 
-void
-Engine::lintFile(const SourceFile &file, std::vector<Finding> &out,
-                 uint64_t &suppressedInline) const
+CachedTu
+Engine::lintOneFile(const SourceFile &file) const
 {
+    CachedTu tu;
+    tu.path = file.path();
+    tu.hash = fnv1a(file.text());
+
     LexResult lexed = lex(file);
     RuleContext ctx{file, lexed.tokens, lexed.comments};
 
     std::vector<Finding> fileFindings;
     for (const auto &rule : rules_) {
-        if (!ruleSelected(*rule) || !ruleApplies(*rule, file.path()))
+        if (!idSelected(rule->id()) || !ruleApplies(*rule, file.path()))
             continue;
         rule->run(ctx, fileFindings);
     }
@@ -125,19 +142,19 @@ Engine::lintFile(const SourceFile &file, std::vector<Finding> &out,
     // directives become findings themselves (never suppressible).
     std::vector<Finding> supDiags;
     Suppressions sup(file.path(), lexed.comments, file, supDiags);
+    tu.supEntries = sup.entries();
     for (Finding &f : fileFindings) {
         if (sup.allows(f.line, f.ruleId))
-            ++suppressedInline;
+            ++tu.suppressedInline;
         else
-            out.push_back(std::move(f));
+            tu.findings.push_back(std::move(f));
     }
-    bool supRuleWanted = cfg_.onlyRules.empty();
-    for (const std::string &id : cfg_.onlyRules)
-        if (id == "MJ-SUP-001")
-            supRuleWanted = true;
-    if (supRuleWanted)
+    if (idSelected("MJ-SUP-001"))
         for (Finding &f : supDiags)
-            out.push_back(std::move(f));
+            tu.findings.push_back(std::move(f));
+
+    tu.index = buildIndex(file, lexed);
+    return tu;
 }
 
 EngineResult
@@ -148,14 +165,81 @@ Engine::run() const
     if (!cfg_.baselinePath.empty())
         baseline.load(cfg_.baselinePath);
 
+    // The cache stores results of the full default configuration;
+    // filtered runs (rule subsets, ignored scopes) bypass it rather
+    // than poison it.
+    bool useCache = !cfg_.cachePath.empty() && cfg_.onlyRules.empty() &&
+                    !cfg_.ignoreScopes;
+    AnalysisCache cache;
+    if (useCache)
+        cache.load(cfg_.cachePath);
+    AnalysisCache next; // rebuilt fresh so deleted files drop out
+
     std::vector<Finding> raw;
+    std::vector<const TuIndex *> tus; // point into `next`: map nodes
+                                      // are stable, no index copies
+    std::map<std::string, SourceFile> files;
+    std::map<std::string, std::vector<Suppressions::Entry>> supByPath;
+
     for (const std::string &rel : collectFiles(cfg_)) {
         SourceFile file("", "");
         std::string abs = (fs::path(cfg_.root) / rel).string();
         if (!SourceFile::load(abs, rel, file))
             continue;
         ++res.filesScanned;
-        lintFile(file, raw, res.suppressedInline);
+
+        uint64_t hash = fnv1a(file.text());
+        CachedTu *hit = useCache ? cache.lookupMutable(rel, hash)
+                                 : nullptr;
+        CachedTu tu;
+        if (hit != nullptr) {
+            // The old cache is discarded after this loop, so hits can
+            // be moved out rather than deep-copied.
+            tu = std::move(*hit);
+        } else {
+            tu = lintOneFile(file);
+            ++res.filesLexed;
+        }
+
+        res.suppressedInline += tu.suppressedInline;
+        for (const Finding &f : tu.findings)
+            raw.push_back(f);
+        supByPath[rel] = tu.supEntries;
+        tus.push_back(&next.put(std::move(tu)).index);
+        files.emplace(rel, std::move(file));
+    }
+
+    // Whole-program pass: merge indexes, resolve the call graph, run
+    // the interprocedural rules, then apply inline suppressions to
+    // their findings exactly like per-file ones.
+    ProgramModel model;
+    model.build(tus);
+    GraphRuleContext gctx{
+        model, [&files](const std::string &path, uint32_t line) {
+            auto it = files.find(path);
+            if (it == files.end())
+                return std::string();
+            return trimmed(it->second.lineText(line));
+        }};
+    std::vector<Finding> graphRaw;
+    for (const auto &gr : graphRules_) {
+        if (!idSelected(gr->id()))
+            continue;
+        gr->run(gctx, graphRaw);
+    }
+    for (Finding &f : graphRaw) {
+        auto it = supByPath.find(f.path);
+        bool allowed = false;
+        if (it != supByPath.end())
+            for (const Suppressions::Entry &e : it->second)
+                if (e.line == f.line && e.ruleId == f.ruleId) {
+                    allowed = true;
+                    break;
+                }
+        if (allowed)
+            ++res.suppressedInline;
+        else
+            raw.push_back(std::move(f));
     }
 
     for (Finding &f : raw) {
@@ -168,6 +252,11 @@ Engine::run() const
 
     sortFindings(res.findings);
     res.staleBaseline = baseline.unusedEntries();
+    // Rewriting an identical cache is the single biggest warm-run
+    // cost; skip it when nothing was re-lexed and no file vanished.
+    if (useCache &&
+        (res.filesLexed > 0 || next.size() != cache.size()))
+        next.write(cfg_.cachePath);
     return res;
 }
 
@@ -176,7 +265,66 @@ Engine::runOnFile(const SourceFile &file) const
 {
     EngineResult res;
     res.filesScanned = 1;
-    lintFile(file, res.findings, res.suppressedInline);
+    res.filesLexed = 1;
+    CachedTu tu = lintOneFile(file);
+    res.suppressedInline = tu.suppressedInline;
+    res.findings = std::move(tu.findings);
+    sortFindings(res.findings);
+    return res;
+}
+
+EngineResult
+Engine::runOnFiles(const std::vector<SourceFile> &files) const
+{
+    EngineResult res;
+    std::vector<Finding> raw;
+    std::vector<TuIndex> tus;
+    std::map<std::string, const SourceFile *> byPath;
+    std::map<std::string, std::vector<Suppressions::Entry>> supByPath;
+
+    for (const SourceFile &file : files) {
+        ++res.filesScanned;
+        ++res.filesLexed;
+        CachedTu tu = lintOneFile(file);
+        res.suppressedInline += tu.suppressedInline;
+        for (const Finding &f : tu.findings)
+            raw.push_back(f);
+        supByPath[file.path()] = tu.supEntries;
+        tus.push_back(std::move(tu.index));
+        byPath[file.path()] = &file;
+    }
+
+    ProgramModel model;
+    model.build(tus);
+    GraphRuleContext gctx{
+        model, [&byPath](const std::string &path, uint32_t line) {
+            auto it = byPath.find(path);
+            if (it == byPath.end())
+                return std::string();
+            return trimmed(it->second->lineText(line));
+        }};
+    std::vector<Finding> graphRaw;
+    for (const auto &gr : graphRules_) {
+        if (!idSelected(gr->id()))
+            continue;
+        gr->run(gctx, graphRaw);
+    }
+    for (Finding &f : graphRaw) {
+        auto it = supByPath.find(f.path);
+        bool allowed = false;
+        if (it != supByPath.end())
+            for (const Suppressions::Entry &e : it->second)
+                if (e.line == f.line && e.ruleId == f.ruleId) {
+                    allowed = true;
+                    break;
+                }
+        if (allowed)
+            ++res.suppressedInline;
+        else
+            raw.push_back(std::move(f));
+    }
+
+    res.findings = std::move(raw);
     sortFindings(res.findings);
     return res;
 }

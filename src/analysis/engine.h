@@ -1,8 +1,11 @@
 /**
  * @file
  * The lint engine: walks the tree, tokenizes each source file, runs
- * every rule in scope, applies inline suppressions and the baseline,
- * and returns the surviving findings.
+ * every per-file rule in scope, merges the per-TU symbol indexes into
+ * a whole-program call graph, runs the interprocedural rules over it,
+ * then applies inline suppressions and the baseline. An optional
+ * content-hash-keyed cache skips the per-file work for unchanged
+ * files, making warm repo-wide runs a small fraction of cold ones.
  */
 
 #ifndef MINJIE_ANALYSIS_ENGINE_H
@@ -12,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cache.h"
 #include "analysis/finding.h"
 #include "analysis/rule.h"
+#include "analysis/rules_graph.h"
 
 namespace minjie::analysis {
 
@@ -23,6 +28,7 @@ struct EngineConfig
     std::vector<std::string> scanDirs = {"src", "tools"};
     std::vector<std::string> excludePrefixes; ///< repo-relative prefixes
     std::string baselinePath;          ///< empty = no baseline
+    std::string cachePath;             ///< empty = no incremental cache
     std::vector<std::string> onlyRules; ///< restrict to these ids
     bool ignoreScopes = false; ///< run every rule on every file (tests)
 };
@@ -31,6 +37,7 @@ struct EngineResult
 {
     std::vector<Finding> findings;      ///< unsuppressed, sorted
     uint64_t filesScanned = 0;
+    uint64_t filesLexed = 0; ///< cache misses (== filesScanned when cold)
     uint64_t suppressedInline = 0;
     uint64_t suppressedBaseline = 0;
     std::vector<std::string> staleBaseline; ///< unused baseline entries
@@ -41,25 +48,38 @@ class Engine
   public:
     explicit Engine(EngineConfig cfg);
 
-    /** Scan the configured tree. */
+    /** Scan the configured tree (per-file + interprocedural pass). */
     EngineResult run() const;
 
-    /** Lint a single in-memory file (unit tests / fixtures). */
+    /** Lint a single in-memory file with the per-file rules only
+     *  (unit tests / fixtures). */
     EngineResult runOnFile(const SourceFile &file) const;
+
+    /** Full pipeline — per-file rules, call graph, graph rules — over
+     *  in-memory files (multi-TU fixtures in tests). No baseline, no
+     *  cache. */
+    EngineResult runOnFiles(const std::vector<SourceFile> &files) const;
 
     const std::vector<std::unique_ptr<Rule>> &rules() const
     {
         return rules_;
     }
 
+    const std::vector<std::unique_ptr<GraphRule>> &graphRules() const
+    {
+        return graphRules_;
+    }
+
   private:
-    bool ruleSelected(const Rule &r) const;
+    bool idSelected(std::string_view id) const;
     bool ruleApplies(const Rule &r, const std::string &relPath) const;
-    void lintFile(const SourceFile &file, std::vector<Finding> &out,
-                  uint64_t &suppressedInline) const;
+
+    /** Lex + per-file rules + suppressions + index for one file. */
+    CachedTu lintOneFile(const SourceFile &file) const;
 
     EngineConfig cfg_;
     std::vector<std::unique_ptr<Rule>> rules_;
+    std::vector<std::unique_ptr<GraphRule>> graphRules_;
 };
 
 /** Repo-relative paths of every lintable file under cfg's scan dirs,

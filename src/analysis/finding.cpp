@@ -5,7 +5,7 @@
 namespace minjie::analysis {
 
 uint64_t
-fnv1a(const std::string &s, uint64_t seed)
+fnv1a(std::string_view s, uint64_t seed)
 {
     uint64_t h = seed;
     for (char c : s) {

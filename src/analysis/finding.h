@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace minjie::analysis {
 
@@ -20,6 +21,12 @@ struct Finding
     std::string message;
     std::string snippet; ///< source line, whitespace-trimmed
 
+    /** Interprocedural witness: the call chain proving reachability,
+     *  one "qualName (path:line)" frame per hop, root first. Empty
+     *  for per-file findings. Excluded from fingerprint() so a
+     *  baseline entry survives unrelated call-graph churn. */
+    std::vector<std::string> callPath;
+
     /**
      * Line-number-independent identity used by the baseline file: a
      * finding survives unrelated edits above it as long as the rule,
@@ -29,7 +36,7 @@ struct Finding
 };
 
 /** FNV-1a, the repo-wide cheap stable hash. */
-uint64_t fnv1a(const std::string &s, uint64_t seed = 0xcbf29ce484222325ULL);
+uint64_t fnv1a(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL);
 
 } // namespace minjie::analysis
 

@@ -25,6 +25,26 @@ const char *const PUNCT2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
                               ">=", "==", "!=", "&&", "||", "+=", "-=",
                               "*=", "/=", "%=", "&=", "|=", "^=", "##"};
 
+/** The only identifiers that prefix a raw string literal. Anything
+ *  else ending in R before a '"' (PRIuPTR-style macro pastes) is an
+ *  ordinary identifier followed by an ordinary string. */
+bool
+isRawStringPrefix(std::string_view ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+           ident == "UR" || ident == "u8R";
+}
+
+/** Valid raw-string delimiter char (C++ basic charset minus parens,
+ *  backslash, and whitespace); delimiters are at most 16 chars. */
+bool
+isRawDelimChar(char c)
+{
+    return c != '(' && c != ')' && c != '\\' &&
+           !std::isspace(static_cast<unsigned char>(c)) &&
+           std::isprint(static_cast<unsigned char>(c));
+}
+
 } // namespace
 
 LexResult
@@ -70,10 +90,25 @@ lex(const SourceFile &file)
             ++i;
             continue;
         }
+        // Line-continuation backslash: splices the next line onto this
+        // one, so it is whitespace to the token stream (and must not
+        // surface as a stray Punct that breaks token-adjacency rules).
+        if (c == '\\' && i + 1 < n &&
+            (s[i + 1] == '\n' ||
+             (s[i + 1] == '\r' && i + 2 < n && s[i + 2] == '\n'))) {
+            i += s[i + 1] == '\r' ? 3 : 2;
+            continue;
+        }
 
         // Comments.
         if (c == '/' && i + 1 < n && s[i + 1] == '/') {
             size_t end = s.find('\n', i);
+            // A // comment whose line ends in a continuation backslash
+            // extends onto the next line.
+            while (end != std::string_view::npos && end > 0 &&
+                   (s[end - 1] == '\\' ||
+                    (s[end - 1] == '\r' && end > 1 && s[end - 2] == '\\')))
+                end = s.find('\n', end + 1);
             if (end == std::string_view::npos)
                 end = n;
             Comment cm;
@@ -133,20 +168,27 @@ lex(const SourceFile &file)
             size_t j = i;
             while (j < n && isIdentChar(s[j]))
                 ++j;
-            // Raw string: identifier ending in R directly before '"'.
-            if (j < n && s[j] == '"' && s[j - 1] == 'R') {
+            // Raw string: one of the standard prefixes directly before
+            // '"'. Identifiers merely *ending* in R (PRIuPTR-style
+            // macro pastes) are ordinary idents before ordinary strings.
+            if (j < n && s[j] == '"' &&
+                isRawStringPrefix(s.substr(i, j - i))) {
                 size_t d = j + 1;
-                while (d < n && s[d] != '(' && s[d] != '"' &&
-                       d - j - 1 < 16)
+                while (d < n && isRawDelimChar(s[d]) && d - j - 1 < 16)
                     ++d;
-                std::string delim(s.substr(j + 1, d - j - 1));
-                std::string closer = ")" + delim + "\"";
-                size_t end = s.find(closer, d);
-                end = end == std::string_view::npos ? n
-                                                    : end + closer.size();
-                push(Tok::Str, i, end);
-                i = end;
-                continue;
+                if (d < n && s[d] == '(') {
+                    std::string delim(s.substr(j + 1, d - j - 1));
+                    std::string closer = ")" + delim + "\"";
+                    size_t end = s.find(closer, d + 1);
+                    end = end == std::string_view::npos
+                              ? n
+                              : end + closer.size();
+                    push(Tok::Str, i, end);
+                    i = end;
+                    continue;
+                }
+                // Malformed raw string (no delimiter-terminating '('):
+                // fall through and lex the prefix as an identifier.
             }
             push(Tok::Ident, i, j);
             i = j;
@@ -159,7 +201,15 @@ lex(const SourceFile &file)
             size_t j = i;
             while (j < n) {
                 char d = s[j];
-                if (isIdentChar(d) || d == '.' || d == '\'') {
+                if (isIdentChar(d) || d == '.') {
+                    ++j;
+                    continue;
+                }
+                // Digit separator: only between digits/hex-digits. A
+                // bare apostrophe after a number is a char literal
+                // (e.g. `case 1: f('x')` must not eat the quote).
+                if (d == '\'' && j + 1 < n &&
+                    std::isalnum(static_cast<unsigned char>(s[j + 1]))) {
                     ++j;
                     continue;
                 }

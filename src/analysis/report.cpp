@@ -19,6 +19,12 @@ renderHuman(const EngineResult &res)
         out += " [" + f.ruleId + "]\n";
         if (!f.snippet.empty())
             out += "    " + f.snippet + "\n";
+        if (!f.callPath.empty()) {
+            out += "    call path:\n";
+            for (size_t i = 0; i < f.callPath.size(); ++i)
+                out += "      " + std::string(i * 2, ' ') +
+                       (i == 0 ? "" : "-> ") + f.callPath[i] + "\n";
+        }
     }
     std::snprintf(buf, sizeof(buf),
                   "minjie-lint: %zu finding%s in %llu files "
@@ -41,6 +47,7 @@ renderJson(const EngineResult &res)
     JsonWriter jw;
     jw.beginObject();
     jw.key("files_scanned").value(res.filesScanned);
+    jw.key("files_lexed").value(res.filesLexed);
     jw.key("suppressed_inline").value(res.suppressedInline);
     jw.key("suppressed_baseline").value(res.suppressedBaseline);
     jw.key("findings").beginArray();
@@ -52,6 +59,12 @@ renderJson(const EngineResult &res)
         jw.key("col").value(f.col);
         jw.key("message").value(f.message);
         jw.key("snippet").value(f.snippet);
+        if (!f.callPath.empty()) {
+            jw.key("call_path").beginArray();
+            for (const std::string &frame : f.callPath)
+                jw.value(frame);
+            jw.endArray();
+        }
         jw.endObject();
     }
     jw.endArray();
@@ -88,6 +101,14 @@ renderSarif(const EngineResult &res, const Engine &engine)
         jw.endObject();
         jw.endObject();
     }
+    for (const auto &rule : engine.graphRules()) {
+        jw.beginObject();
+        jw.key("id").value(std::string(rule->id()));
+        jw.key("shortDescription").beginObject();
+        jw.key("text").value(std::string(rule->summary()));
+        jw.endObject();
+        jw.endObject();
+    }
     jw.endArray();
     jw.endObject(); // driver
     jw.endObject(); // tool
@@ -113,6 +134,29 @@ renderSarif(const EngineResult &res, const Engine &engine)
         jw.endObject(); // physicalLocation
         jw.endObject();
         jw.endArray(); // locations
+        // Interprocedural findings carry their call-path witness as a
+        // SARIF codeFlow so viewers can step the chain.
+        if (!f.callPath.empty()) {
+            jw.key("codeFlows").beginArray();
+            jw.beginObject();
+            jw.key("threadFlows").beginArray();
+            jw.beginObject();
+            jw.key("locations").beginArray();
+            for (const std::string &frame : f.callPath) {
+                jw.beginObject();
+                jw.key("location").beginObject();
+                jw.key("message").beginObject();
+                jw.key("text").value(frame);
+                jw.endObject();
+                jw.endObject();
+                jw.endObject();
+            }
+            jw.endArray(); // locations
+            jw.endObject();
+            jw.endArray(); // threadFlows
+            jw.endObject();
+            jw.endArray(); // codeFlows
+        }
         jw.endObject();
     }
     jw.endArray(); // results

@@ -8,6 +8,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#if defined(__GLIBC__)
+#include <stdio_ext.h> // __fpurge: discard inherited stdio buffers
+#endif
+
 #include "common/clock.h"
 #include "common/log.h"
 
@@ -91,8 +95,17 @@ LightSSS::tick(Cycle now)
     }
 
     if (pid == 0) {
-        // Snapshot child: release inherited snapshot handles (they
-        // belong to the parent) and sleep until woken.
+        // Snapshot child: the parent's buffered-but-unflushed stdio
+        // bytes were duplicated into this address space by fork(). The
+        // parent will flush them itself, so DISCARD our copy — flushing
+        // it later would emit those bytes twice. Purge before the child
+        // produces any output of its own so nothing legitimate is lost.
+#if defined(__GLIBC__)
+        __fpurge(stdout);
+        __fpurge(stdin);
+#endif
+        // Release inherited snapshot handles (they belong to the
+        // parent) and sleep until woken.
         close(pipefd[1]);
         for (auto &snap : snapshots_)
             close(snap.wakeFd);
@@ -153,7 +166,14 @@ LightSSS::triggerReplay(Cycle failCycle)
 void
 LightSSS::finishReplay(int exitCode)
 {
-    std::fflush(nullptr);
+    // Flush only the streams this replay child wrote itself. A blanket
+    // fflush(nullptr) would also flush streams inherited from the
+    // parent (log files, result files) whose buffered bytes the parent
+    // still owns and will flush — emitting them twice. stdout is safe:
+    // its inherited buffer was purged at fork time in tick().
+    // lint:allow MJ-FRK2-001 stdout purged at fork; only replay-child output remains
+    std::fflush(stdout);
+    std::fflush(stderr);
     _exit(exitCode);
 }
 

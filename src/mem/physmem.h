@@ -6,6 +6,7 @@
 #ifndef MINJIE_MEM_PHYSMEM_H
 #define MINJIE_MEM_PHYSMEM_H
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -114,13 +115,24 @@ class PhysMem
     /** Number of pages currently allocated. */
     size_t allocatedPages() const { return pages_.size(); }
 
-    /** Visit every allocated page (for checkpoints and SSS snapshots). */
+    /**
+     * Visit every allocated page in ascending address order (for
+     * checkpoints and SSS snapshots). Sorted visitation is load-bearing:
+     * consumers serialize the pages, and two runs that touched the same
+     * pages in different orders must produce identical images.
+     */
     template <typename Fn>
     void
     forEachPage(Fn &&fn) const
     {
+        std::vector<Addr> pfns;
+        pfns.reserve(pages_.size());
+        // lint:allow MJ-DET2-001 keys are sorted below before any visit
         for (const auto &[pfn, page] : pages_)
-            fn(pfn << PAGE_SHIFT, page->data());
+            pfns.push_back(pfn);
+        std::sort(pfns.begin(), pfns.end());
+        for (Addr pfn : pfns)
+            fn(pfn << PAGE_SHIFT, pages_.find(pfn)->second->data());
     }
 
     /** Drop all contents (used when restoring a checkpoint). */

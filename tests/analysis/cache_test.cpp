@@ -1,0 +1,244 @@
+/**
+ * Incremental-cache tests: the on-disk round trip must preserve every
+ * field the whole-program pass depends on (calls with receivers and
+ * held locks, lock events, nondeterminism sources, iteration sites,
+ * arch stores, receiver-type hints), a content-hash mismatch must
+ * miss, a corrupt file must degrade to a cold run, and an end-to-end
+ * engine run over a scratch tree must keep producing the same graph
+ * findings from cached indexes without re-lexing anything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "analysis/cache.h"
+#include "analysis/engine.h"
+
+namespace minjie::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+CachedTu
+sampleTu()
+{
+    CachedTu tu;
+    tu.path = "src/util/helper.cpp";
+    tu.hash = 0x1234;
+
+    Finding f;
+    f.ruleId = "MJ-DET-001";
+    f.path = tu.path;
+    f.line = 7;
+    f.col = 3;
+    f.message = "message with\ttab and\nnewline";
+    f.snippet = "rand();";
+    tu.findings.push_back(f);
+    tu.suppressedInline = 1;
+    tu.supEntries.push_back({12, "MJ-FRK-003"});
+
+    FunctionIndex fn;
+    fn.name = "emitProgress";
+    fn.qualName = "minjie::util::emitProgress";
+    fn.line = 5;
+    CallEvent c;
+    c.name = "write";
+    c.qualHint = "detail";
+    c.firstArg = "stderr,buf";
+    c.recv = "sink";
+    c.line = 6;
+    c.member = true;
+    c.heldLocks = {"poolMu", "statsMu"};
+    fn.calls.push_back(c);
+    LockEvent l;
+    l.lockName = "poolMu";
+    l.line = 8;
+    l.heldBefore = {"statsMu"};
+    fn.locks.push_back(l);
+    DetEvent d;
+    d.what = "rand()";
+    d.line = 7;
+    fn.detSources.push_back(d);
+    IterEvent it;
+    it.line = 9;
+    it.names = {"rowsById"};
+    fn.iterUses.push_back(it);
+    WriteEvent w;
+    w.what = "x[] store";
+    w.line = 10;
+    fn.archWrites.push_back(w);
+
+    tu.index.path = tu.path;
+    tu.index.functions.push_back(std::move(fn));
+    tu.index.unorderedNames = {"rowsById"};
+    tu.index.lockNames = {"poolMu"};
+    tu.index.varTypes = {{"sink", "Sink"}};
+    return tu;
+}
+
+TEST(Cache, RoundTripPreservesEveryIndexField)
+{
+    std::string path = testing::TempDir() + "minjie_cache_rt.txt";
+    AnalysisCache out;
+    out.put(sampleTu());
+    ASSERT_TRUE(out.write(path));
+
+    AnalysisCache in;
+    ASSERT_TRUE(in.load(path));
+    const CachedTu *got = in.lookup("src/util/helper.cpp", 0x1234);
+    ASSERT_NE(got, nullptr);
+
+    ASSERT_EQ(got->findings.size(), 1u);
+    EXPECT_EQ(got->findings[0].ruleId, "MJ-DET-001");
+    EXPECT_EQ(got->findings[0].line, 7u);
+    EXPECT_EQ(got->findings[0].message, "message with\ttab and\nnewline");
+    EXPECT_EQ(got->suppressedInline, 1u);
+    ASSERT_EQ(got->supEntries.size(), 1u);
+    EXPECT_EQ(got->supEntries[0].line, 12u);
+    EXPECT_EQ(got->supEntries[0].ruleId, "MJ-FRK-003");
+
+    const TuIndex &idx = got->index;
+    EXPECT_EQ(idx.path, "src/util/helper.cpp");
+    EXPECT_EQ(idx.unorderedNames,
+              std::vector<std::string>{"rowsById"});
+    EXPECT_EQ(idx.lockNames, std::vector<std::string>{"poolMu"});
+    ASSERT_EQ(idx.varTypes.size(), 1u);
+    EXPECT_EQ(idx.varTypes[0].first, "sink");
+    EXPECT_EQ(idx.varTypes[0].second, "Sink");
+
+    ASSERT_EQ(idx.functions.size(), 1u);
+    const FunctionIndex &fn = idx.functions[0];
+    EXPECT_EQ(fn.qualName, "minjie::util::emitProgress");
+    EXPECT_EQ(fn.line, 5u);
+    ASSERT_EQ(fn.calls.size(), 1u);
+    EXPECT_EQ(fn.calls[0].name, "write");
+    EXPECT_EQ(fn.calls[0].qualHint, "detail");
+    EXPECT_EQ(fn.calls[0].firstArg, "stderr,buf");
+    EXPECT_EQ(fn.calls[0].recv, "sink");
+    EXPECT_TRUE(fn.calls[0].member);
+    EXPECT_EQ(fn.calls[0].heldLocks,
+              (std::vector<std::string>{"poolMu", "statsMu"}));
+    ASSERT_EQ(fn.locks.size(), 1u);
+    EXPECT_EQ(fn.locks[0].lockName, "poolMu");
+    EXPECT_EQ(fn.locks[0].heldBefore,
+              std::vector<std::string>{"statsMu"});
+    ASSERT_EQ(fn.detSources.size(), 1u);
+    EXPECT_EQ(fn.detSources[0].what, "rand()");
+    ASSERT_EQ(fn.iterUses.size(), 1u);
+    EXPECT_EQ(fn.iterUses[0].names,
+              std::vector<std::string>{"rowsById"});
+    ASSERT_EQ(fn.archWrites.size(), 1u);
+    EXPECT_EQ(fn.archWrites[0].what, "x[] store");
+    EXPECT_EQ(fn.archWrites[0].line, 10u);
+}
+
+TEST(Cache, HashMismatchMisses)
+{
+    std::string path = testing::TempDir() + "minjie_cache_hm.txt";
+    AnalysisCache out;
+    out.put(sampleTu());
+    ASSERT_TRUE(out.write(path));
+
+    AnalysisCache in;
+    ASSERT_TRUE(in.load(path));
+    EXPECT_EQ(in.lookup("src/util/helper.cpp", 0x9999), nullptr);
+    EXPECT_EQ(in.lookup("src/util/other.cpp", 0x1234), nullptr);
+}
+
+TEST(Cache, CorruptFileDropsToEmptyCache)
+{
+    std::string path = testing::TempDir() + "minjie_cache_bad.txt";
+    {
+        std::ofstream os(path);
+        os << "minjie-lint-cache v999\ngarbage\tgarbage\n";
+    }
+    AnalysisCache in;
+    EXPECT_FALSE(in.load(path));
+    EXPECT_EQ(in.size(), 0u);
+    EXPECT_EQ(in.lookup("src/util/helper.cpp", 0x1234), nullptr);
+}
+
+// ------------------------------------------------- end-to-end engine
+
+void
+writeFile(const fs::path &p, const std::string &text)
+{
+    std::ofstream os(p);
+    os << text;
+    ASSERT_TRUE(os.good()) << "cannot write " << p;
+}
+
+const char *const ROOT_TU = "namespace minjie::lightsss {\n"
+                            "void replayWindow(int n)\n"
+                            "{\n"
+                            "    util::emitProgress(n);\n"
+                            "}\n"
+                            "} // namespace minjie::lightsss\n";
+
+const char *const HELPER_BAD = "namespace minjie::util {\n"
+                               "void emitProgress(int n)\n"
+                               "{\n"
+                               "    printf(\"%d\\n\", n);\n"
+                               "}\n"
+                               "} // namespace minjie::util\n";
+
+const char *const HELPER_CLEAN = "namespace minjie::util {\n"
+                                 "void emitProgress(int n)\n"
+                                 "{\n"
+                                 "    fprintf(stderr, \"%d\\n\", n);\n"
+                                 "}\n"
+                                 "} // namespace minjie::util\n";
+
+TEST(Cache, EngineWarmRunReproducesGraphFindingsWithoutLexing)
+{
+    fs::path root = fs::path(testing::TempDir()) / "minjie_cache_repo";
+    fs::remove_all(root);
+    fs::create_directories(root / "src" / "lightsss");
+    fs::create_directories(root / "src" / "util");
+    writeFile(root / "src" / "lightsss" / "replay.cpp", ROOT_TU);
+    writeFile(root / "src" / "util" / "progress.cpp", HELPER_BAD);
+
+    EngineConfig cfg;
+    cfg.root = root.string();
+    cfg.scanDirs = {"src"};
+    cfg.cachePath = (root / "lint.cache").string();
+    Engine engine(cfg);
+
+    auto cold = engine.run();
+    EXPECT_EQ(cold.filesScanned, 2u);
+    EXPECT_EQ(cold.filesLexed, 2u);
+    ASSERT_EQ(cold.findings.size(), 1u);
+    EXPECT_EQ(cold.findings[0].ruleId, "MJ-FRK2-001");
+
+    // Warm: nothing re-lexed, yet the graph finding — never cached —
+    // is recomputed identically from the cached indexes.
+    auto warm = engine.run();
+    EXPECT_EQ(warm.filesLexed, 0u);
+    ASSERT_EQ(warm.findings.size(), 1u);
+    EXPECT_EQ(warm.findings[0].ruleId, "MJ-FRK2-001");
+    EXPECT_EQ(warm.findings[0].path, "src/util/progress.cpp");
+    EXPECT_EQ(warm.findings[0].callPath, cold.findings[0].callPath);
+    ASSERT_EQ(warm.findings[0].callPath.size(), 2u);
+
+    // Edit one file: exactly that file is re-lexed and the finding
+    // disappears (stderr is tolerated on the fork path).
+    writeFile(root / "src" / "util" / "progress.cpp", HELPER_CLEAN);
+    auto inc = engine.run();
+    EXPECT_EQ(inc.filesLexed, 1u);
+    EXPECT_TRUE(inc.findings.empty())
+        << inc.findings[0].ruleId << ": " << inc.findings[0].message;
+
+    // A corrupt cache degrades to a full cold run, not a failure.
+    writeFile(root / "lint.cache", "not a cache\n");
+    auto cold2 = engine.run();
+    EXPECT_EQ(cold2.filesLexed, 2u);
+    EXPECT_TRUE(cold2.findings.empty());
+
+    fs::remove_all(root);
+}
+
+} // namespace
+} // namespace minjie::analysis

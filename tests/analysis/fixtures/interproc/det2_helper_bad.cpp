@@ -1,0 +1,13 @@
+// MJ-DET2 fixture, bad helper TU: loaded under src/util/, outside the
+// per-file MJ-DET scope. The host-RNG call is invisible to per-file
+// rules yet poisons every deterministic caller.
+
+namespace minjie::util {
+
+int
+hashSeed(int iteration)
+{
+    return static_cast<int>(rand()) ^ iteration; // MJ-DET2-001
+}
+
+} // namespace minjie::util

@@ -1,0 +1,15 @@
+// MJ-DET2 fixture, sanctioned-sink root TU: loaded under
+// src/campaign/. Draws randomness through the repo's seeded Rng
+// wrapper — a sanctioned sink the graph rules must not traverse into,
+// even though its implementation touches the host RNG.
+
+namespace minjie::campaign {
+
+unsigned long
+drawSeed()
+{
+    util::Rng rng;
+    return rng.next(); // clean: Rng:: is a sanctioned sink
+}
+
+} // namespace minjie::campaign

@@ -1,0 +1,13 @@
+// MJ-DET2 fixture, sanctioned-sink TU: loaded under src/util/. The
+// Rng:: qualifier marks the seeded-wrapper choke point; the rand()
+// inside must NOT be reported through callers that stay behind it.
+
+namespace minjie::util {
+
+unsigned long
+Rng::next()
+{
+    return static_cast<unsigned long>(rand()); // behind the sink
+}
+
+} // namespace minjie::util

@@ -1,0 +1,14 @@
+// MJ-DET2 fixture, root TU: loaded under src/campaign/ (a
+// deterministic path). Calls a seed-mixing helper defined in another
+// TU; determinism of this function depends on that helper.
+// Fixture data only — never compiled.
+
+namespace minjie::campaign {
+
+int
+pickSeed(int iteration)
+{
+    return util::hashSeed(iteration);
+}
+
+} // namespace minjie::campaign

@@ -1,0 +1,14 @@
+// MJ-DET2 fixture, declaration TU: loaded under src/util/ (outside
+// the per-file MJ-DET scope, so MJ-DET-003 stays silent here). The
+// unordered member is what makes iteration in det2_rows_use.cpp
+// host-order-dependent — only the merged program model can connect
+// the two TUs.
+
+namespace minjie::util {
+
+struct RowTable
+{
+    std::unordered_map<int, int> rowsById;
+};
+
+} // namespace minjie::util

@@ -1,0 +1,14 @@
+// MJ-FRK2 fixture, root TU: loaded under src/lightsss/ so every
+// function here is a fork-path root. The root itself is clean — the
+// violation (or its absence) lives in the helper TU it calls.
+// Fixture data only — never compiled.
+
+namespace minjie::lightsss {
+
+void
+replayWindow(int cycles)
+{
+    util::emitProgress(cycles);
+}
+
+} // namespace minjie::lightsss

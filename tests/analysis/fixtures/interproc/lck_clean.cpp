@@ -1,0 +1,24 @@
+// MJ-LCK fixture, clean: loaded under src/campaign/. Both functions
+// acquire the pair in the same global order — the order graph is
+// acyclic, so no finding.
+
+namespace minjie::campaign {
+
+std::mutex poolMu;
+std::mutex statsMu;
+
+void
+recordResult()
+{
+    std::lock_guard<std::mutex> g1(poolMu);
+    std::lock_guard<std::mutex> g2(statsMu); // poolMu -> statsMu
+}
+
+void
+flushStats()
+{
+    std::lock_guard<std::mutex> g1(poolMu);
+    std::lock_guard<std::mutex> g2(statsMu); // same order: clean
+}
+
+} // namespace minjie::campaign

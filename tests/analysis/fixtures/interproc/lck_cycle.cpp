@@ -1,0 +1,24 @@
+// MJ-LCK fixture, intraprocedural cycle: loaded under src/campaign/.
+// Two functions acquire the same pair of mutexes in opposite orders —
+// the classic ABBA deadlock. Fixture data only — never compiled.
+
+namespace minjie::campaign {
+
+std::mutex poolMu;
+std::mutex statsMu;
+
+void
+recordResult()
+{
+    std::lock_guard<std::mutex> g1(poolMu);
+    std::lock_guard<std::mutex> g2(statsMu); // poolMu -> statsMu
+}
+
+void
+flushStats()
+{
+    std::lock_guard<std::mutex> g1(statsMu);
+    std::lock_guard<std::mutex> g2(poolMu); // statsMu -> poolMu: cycle
+}
+
+} // namespace minjie::campaign

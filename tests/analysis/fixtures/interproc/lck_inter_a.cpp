@@ -1,0 +1,26 @@
+// MJ-LCK fixture, interprocedural cycle, caller TU: loaded under
+// src/campaign/. publishResult() calls noteStat() — defined in
+// another TU — WITH poolMu held; the lock the callee takes orders
+// after poolMu. drainStats() orders the same pair the other way
+// round, closing the cycle.
+
+namespace minjie::campaign {
+
+std::mutex poolMu;
+std::mutex statsMu;
+
+void
+publishResult()
+{
+    std::lock_guard<std::mutex> g(poolMu);
+    noteStat(); // callee acquires statsMu: poolMu -> statsMu
+}
+
+void
+drainStats()
+{
+    std::lock_guard<std::mutex> g1(statsMu);
+    std::lock_guard<std::mutex> g2(poolMu); // statsMu -> poolMu: cycle
+}
+
+} // namespace minjie::campaign

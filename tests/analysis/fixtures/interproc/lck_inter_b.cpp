@@ -1,0 +1,14 @@
+// MJ-LCK fixture, interprocedural cycle, callee TU: loaded under
+// src/campaign/ as a second TU of the same namespace. Takes statsMu;
+// the deadlock only exists because lck_inter_a.cpp calls this with
+// poolMu held — no single TU shows the inverted order.
+
+namespace minjie::campaign {
+
+void
+noteStat()
+{
+    std::lock_guard<std::mutex> g(statsMu);
+}
+
+} // namespace minjie::campaign

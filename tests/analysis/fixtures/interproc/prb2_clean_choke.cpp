@@ -1,0 +1,13 @@
+// MJ-PRB2 fixture, choke-point TU: loaded under src/iss/arch_state.cpp
+// — one of the PRB-exempt accessor files. The BFS never enters exempt
+// files, so the store helper this accessor calls stays sanctioned.
+
+namespace minjie::iss {
+
+void
+ArchState::setX(State &raw, int idx)
+{
+    util::pokeReg(raw, idx);
+}
+
+} // namespace minjie::iss

@@ -1,0 +1,14 @@
+// MJ-PRB2 fixture, choked helper TU: loaded under src/util/. Contains
+// a raw x[] store, but its ONLY caller is the exempt ArchState
+// accessor — reachable-through-the-choke-point is the sanctioned way,
+// so no finding.
+
+namespace minjie::util {
+
+void
+pokeReg(State &raw, int idx)
+{
+    raw.x[idx] = 0; // clean: only reachable through ArchState::setX
+}
+
+} // namespace minjie::util

@@ -1,0 +1,14 @@
+// MJ-PRB2 fixture, clean root TU: loaded under src/nemu/. Routes the
+// register write through the ArchState accessor — the exempt choke
+// point — so anything the accessor's implementation reaches is
+// sanctioned.
+
+namespace minjie::nemu {
+
+void
+applyPatch(ArchState &st)
+{
+    st.setX(5, 0); // clean: goes through the accessor choke point
+}
+
+} // namespace minjie::nemu

@@ -1,0 +1,14 @@
+// MJ-PRB2 fixture, root TU: loaded under src/nemu/ (engine code).
+// Delegates a register patch to a helper in another TU instead of
+// going through the ArchState accessors.
+// Fixture data only — never compiled.
+
+namespace minjie::nemu {
+
+void
+applyPatch(State &st)
+{
+    util::patchRegs(st);
+}
+
+} // namespace minjie::nemu

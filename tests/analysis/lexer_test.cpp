@@ -101,6 +101,96 @@ TEST(Lexer, RawStringLiteral)
     EXPECT_TRUE(l.tokens()[l.tokens().size() - 2].isIdent("z"));
 }
 
+TEST(Lexer, RawStringWithDelimiter)
+{
+    Lexed l("auto s = R\"x(inner )\" rand() )x\"; int z;\n");
+    for (const Token &t : l.tokens())
+        EXPECT_FALSE(t.isIdent("rand"));
+    EXPECT_TRUE(l.tokens().back().is(";"));
+    EXPECT_TRUE(l.tokens()[l.tokens().size() - 2].isIdent("z"));
+}
+
+TEST(Lexer, IdentEndingInRIsNotARawStringPrefix)
+{
+    // Regression: PRIuPTR-style macro pastes (`SCNdPTR"..."`) used to
+    // trip the raw-string branch and swallow the rest of the file.
+    Lexed l("printf(SCNdPTR \"x\");\nsrand(1);\n");
+    bool sawSrand = false;
+    for (const Token &t : l.tokens())
+        sawSrand |= t.isIdent("srand");
+    EXPECT_TRUE(sawSrand);
+    // The paste ident survives as an ordinary identifier.
+    bool sawMacro = false;
+    for (const Token &t : l.tokens())
+        sawMacro |= t.isIdent("SCNdPTR");
+    EXPECT_TRUE(sawMacro);
+}
+
+TEST(Lexer, EncodedRawStringPrefixes)
+{
+    Lexed l("auto a = u8R\"(rand())\"; auto b = LR\"(time(0))\"; int z;\n");
+    for (const Token &t : l.tokens()) {
+        EXPECT_FALSE(t.isIdent("rand"));
+        EXPECT_FALSE(t.isIdent("time"));
+    }
+    EXPECT_TRUE(l.tokens()[l.tokens().size() - 2].isIdent("z"));
+}
+
+TEST(Lexer, LineContinuationIsInvisible)
+{
+    // Regression: the backslash used to surface as a stray Punct
+    // between `srand` and `(`, breaking call-adjacency rules.
+    Lexed l("#define SEED srand \\\n(42)\n");
+    const auto &toks = l.tokens();
+    bool adjacent = false;
+    for (size_t i = 0; i + 1 < toks.size(); ++i)
+        adjacent |= toks[i].isIdent("srand") && toks[i + 1].is("(");
+    EXPECT_TRUE(adjacent);
+    for (const Token &t : toks)
+        EXPECT_NE(t.text, "\\");
+}
+
+TEST(Lexer, ContinuedLineCommentSwallowsNextLine)
+{
+    // A // comment ending in a backslash continues onto the next
+    // physical line; its content must not leak into the tokens.
+    Lexed l("// part one \\\nrand();\nint a;\n");
+    for (const Token &t : l.tokens())
+        EXPECT_FALSE(t.isIdent("rand"));
+    EXPECT_TRUE(l.tokens()[0].isIdent("int"));
+}
+
+TEST(Lexer, DigitSeparatorsStayOneNumber)
+{
+    Lexed l("uint64_t n = 1'000'000; f('x');\n");
+    bool sawNum = false, sawChar = false;
+    for (const Token &t : l.tokens()) {
+        if (t.kind == Tok::Number) {
+            EXPECT_EQ(t.text, "1'000'000");
+            sawNum = true;
+        }
+        sawChar |= t.kind == Tok::Char;
+    }
+    EXPECT_TRUE(sawNum);
+    // The 'x' after f( is a char literal, not part of a number.
+    EXPECT_TRUE(sawChar);
+}
+
+TEST(Lexer, ApostropheAfterNumberIsCharLiteral)
+{
+    // `case 1: g('a')` — the quote after `1` opens a char literal;
+    // it must not be eaten as a digit separator.
+    Lexed l("switch (v) { case 1: g('a'); }\n");
+    bool sawCase1 = false, sawChar = false;
+    for (const Token &t : l.tokens()) {
+        if (t.kind == Tok::Number)
+            sawCase1 |= t.text == "1";
+        sawChar |= t.kind == Tok::Char && t.text == "'a'";
+    }
+    EXPECT_TRUE(sawCase1);
+    EXPECT_TRUE(sawChar);
+}
+
 TEST(Lexer, IncludeSwallowedWhole)
 {
     // <random> in an include must not produce a 'random' identifier.

@@ -69,7 +69,7 @@ TEST(Suppress, MissingRuleIdIsReported)
 TEST(Fingerprint, IgnoresLineNumberAndWhitespace)
 {
     Finding a{"MJ-DET-001", "src/campaign/x.cpp", 10, 4, "m",
-              "int a = rand();"};
+              "int a = rand();", {}};
     Finding b = a;
     b.line = 99;
     b.col = 1;
@@ -79,7 +79,8 @@ TEST(Fingerprint, IgnoresLineNumberAndWhitespace)
 
 TEST(Fingerprint, SensitiveToRulePathAndSnippet)
 {
-    Finding a{"MJ-DET-001", "src/campaign/x.cpp", 1, 1, "m", "rand();"};
+    Finding a{"MJ-DET-001", "src/campaign/x.cpp", 1, 1, "m", "rand();",
+              {}};
     Finding rule = a, path = a, snip = a;
     rule.ruleId = "MJ-DET-002";
     path.path = "src/campaign/y.cpp";
@@ -92,9 +93,9 @@ TEST(Fingerprint, SensitiveToRulePathAndSnippet)
 TEST(Baseline, RoundTripAndStaleTracking)
 {
     Finding known{"MJ-DET-003", "src/campaign/x.cpp", 5, 1, "m",
-                  "std::unordered_map<int, int> h;"};
+                  "std::unordered_map<int, int> h;", {}};
     Finding gone{"MJ-DET-001", "src/campaign/y.cpp", 7, 1, "m",
-                 "rand();"};
+                 "rand();", {}};
 
     std::string path =
         testing::TempDir() + "/minjie_lint_baseline_test.txt";
@@ -109,7 +110,8 @@ TEST(Baseline, RoundTripAndStaleTracking)
     Finding knownMoved = known;
     knownMoved.line = 50;
     EXPECT_TRUE(bl.matches(knownMoved));
-    EXPECT_FALSE(bl.matches(Finding{"MJ-DET-002", "a", 1, 1, "m", "s"}));
+    EXPECT_FALSE(
+        bl.matches(Finding{"MJ-DET-002", "a", 1, 1, "m", "s", {}}));
 
     auto stale = bl.unusedEntries();
     ASSERT_EQ(stale.size(), 1u);

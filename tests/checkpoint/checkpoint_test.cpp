@@ -70,6 +70,32 @@ TEST(Checkpoint, RestoredRunContinuesIdentically)
     EXPECT_EQ(a.state().pc, b.state().pc);
 }
 
+TEST(Checkpoint, ImageBytesIndependentOfPageTouchOrder)
+{
+    // Regression: serialize() visited DRAM pages in unordered_map
+    // iteration order, so two runs that dirtied the same pages in
+    // different orders produced byte-different images for identical
+    // architectural state. forEachPage() now visits in ascending
+    // address order.
+    iss::ArchState st{};
+    mem::PhysMem a(0x80000000, 1 << 24);
+    mem::PhysMem b(0x80000000, 1 << 24);
+
+    std::vector<Addr> pages;
+    for (Addr i = 0; i < 64; ++i)
+        pages.push_back(0x80000000 + i * 0x1000);
+    for (Addr p : pages)
+        a.write(p, 8, p);
+    for (auto it = pages.rbegin(); it != pages.rend(); ++it)
+        b.write(*it, 8, *it);
+
+    Checkpoint ca = serialize(st, a, 0);
+    Checkpoint cb = serialize(st, b, 0);
+    ASSERT_TRUE(ca.valid());
+    EXPECT_EQ(ca.bytes, cb.bytes)
+        << "checkpoint image depends on page touch order";
+}
+
 TEST(Checkpoint, RejectsGarbage)
 {
     Checkpoint cp;

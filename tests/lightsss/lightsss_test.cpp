@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include <unistd.h>
 
@@ -173,6 +174,40 @@ TEST(LightSSS, ReplayChildRearmsForkInterval)
     EXPECT_EQ(childForks, 0u)
         << "replay child forked snapshots inside its window";
     std::remove(marker.c_str());
+}
+
+TEST(LightSSS, ReplayChildDoesNotFlushInheritedBuffers)
+{
+    // Regression: finishReplay() called fflush(nullptr), which also
+    // flushed FILE streams inherited from the parent at fork time. The
+    // parent flushes those buffers itself, and fork() shares the file
+    // offset, so every byte pending at fork time landed in the file
+    // twice.
+    std::string path = tmpPath("dup");
+    std::remove(path.c_str());
+    FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    setvbuf(f, nullptr, _IOFBF, 1 << 16);
+
+    LightSSS sss({1000, 2, true});
+    std::fputs("pending-bytes", f); // buffered, deliberately unflushed
+    auto role = sss.tick(0);        // forks with the bytes pending
+    if (role == LightSSS::Role::ReplayChild) {
+        // Child: exit the replay path. Must NOT emit the parent's
+        // pending bytes.
+        LightSSS::finishReplay(0);
+    }
+
+    std::fflush(f); // the parent's copy: the only legitimate write
+    ASSERT_TRUE(sss.triggerReplay(500));
+    std::fclose(f);
+
+    std::ifstream in(path);
+    std::string got((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_EQ(got, "pending-bytes")
+        << "replay child flushed buffers it does not own";
+    std::remove(path.c_str());
 }
 
 TEST(LightSSS, NoSnapshotMeansNoReplay)
