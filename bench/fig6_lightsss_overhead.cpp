@@ -38,13 +38,15 @@ runWithInterval(unsigned nCores, const wl::Program &prog,
                 LightSSS::finishReplay(0); // never triggered here
         }
         bool allDone = true;
+        Cycle consumed = 1;
         for (unsigned c = 0; c < soc.numCores(); ++c) {
             if (!soc.core(c).done()) {
-                soc.core(c).tick();
+                consumed = std::max(consumed,
+                                    soc.core(c).tick(maxCycles - cycle));
                 allDone = false;
             }
         }
-        ++cycle;
+        cycle += consumed;
         if (allDone)
             break;
     }

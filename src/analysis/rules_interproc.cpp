@@ -192,7 +192,8 @@ class ForkReachability final : public GraphRuleBase
 
 const std::vector<std::string> DET2_SCOPE = {
     "src/campaign/", "src/difftest/",   "src/archdb/",
-    "src/obs/",      "src/checkpoint/", "tools/",
+    "src/obs/",      "src/checkpoint/", "src/xiangshan/",
+    "tools/",
 };
 
 /** Nondeterminism taint flowing through calls into deterministic

@@ -24,10 +24,12 @@ constexpr uint64_t PLAN_SALT = 0x9e3779b97f4a7c15ULL;
 /** Run @p prog under full DiffTest co-simulation; empty sig == clean. */
 std::string
 runDiffTestOnce(const wl::Program &prog, uint64_t maxCycles,
-                uint64_t *commits, std::string *detail,
-                PerfSummary *perf = nullptr)
+                const xs::ModelOpts &model, uint64_t *commits,
+                std::string *detail, PerfSummary *perf = nullptr)
 {
-    xs::Soc soc(xs::CoreConfig::nh());
+    xs::CoreConfig cc = xs::CoreConfig::nh();
+    cc.model = model;
+    xs::Soc soc(cc);
     difftest::DiffTest dt(soc);
     prog.loadInto(soc.system().dram);
     for (const auto &seg : prog.segments)
@@ -107,7 +109,7 @@ runJob(const CampaignConfig &cfg, uint64_t seed)
         uint64_t commits = 0;
         std::string detail;
         jr.signature = runDiffTestOnce(prog, cfg.difftestMaxCycles,
-                                       &commits, &detail,
+                                       cfg.xsModel, &commits, &detail,
                                        cfg.perf ? &jr.perf : nullptr);
         jr.steps = commits;
         jr.failed = !jr.signature.empty();
@@ -203,8 +205,10 @@ runCampaign(const CampaignConfig &cfg)
             SignatureFn sig;
             if (plan.difftest) {
                 uint64_t cycles = cfg.difftestMaxCycles;
-                sig = [cycles](const wl::Program &p) {
-                    return runDiffTestOnce(p, cycles, nullptr, nullptr);
+                xs::ModelOpts model = cfg.xsModel;
+                sig = [cycles, model](const wl::Program &p) {
+                    return runDiffTestOnce(p, cycles, model, nullptr,
+                                           nullptr);
                 };
             } else {
                 const CampaignConfig *c = &cfg;

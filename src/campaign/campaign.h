@@ -25,6 +25,7 @@
 #include "campaign/lockstep.h"
 #include "obs/counter.h"
 #include "workload/shrinkable.h"
+#include "xiangshan/config.h"
 
 namespace minjie::campaign {
 
@@ -53,6 +54,7 @@ struct CampaignConfig
 
     BugInject bug;              ///< optional self-test corruption
     LockstepOptions lockstep;   ///< NEMU ablation flags for every job
+    xs::ModelOpts xsModel;      ///< DUT fast-path ablations (--xs-no-*)
     bool shrinkFailures = true; ///< delta-debug one rep per bucket
     std::string corpusDir;      ///< when set, write minimized failures
     bool perf = false;          ///< collect per-job DUT perf summaries

@@ -1,5 +1,6 @@
 #include "difftest/difftest.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "isa/decode.h"
@@ -17,8 +18,14 @@ DiffTest::DiffTest(xs::Soc &dut, const RuleConfig &rules)
         refs_.push_back(std::make_unique<nemu::Nemu>(
             refSys_.back()->bus, refSys_.back()->dram, c,
             iss::DRAM_BASE));
-        dut.core(c).setCommitHook(
-            [this, c](const CommitProbe &p) { onCommit(c, p); });
+        // Batched interface: one call per commit group (or per
+        // instruction with --xs-no-batch), probes in program order —
+        // the checker is per-probe either way.
+        dut.core(c).setCommitBatchHook(
+            [this, c](const CommitProbe *p, unsigned n) {
+                for (unsigned i = 0; i < n; ++i)
+                    onCommit(c, p[i]);
+            });
         dut.core(c).setStoreHook(
             [this](const StoreProbe &p) { onStore(p); });
         dut.core(c).setSpecStoreHook(
@@ -363,13 +370,17 @@ DiffTest::run(Cycle maxCycles)
     while (cycles < maxCycles && ok()) {
         dut_.system().clint.tick();
         bool allDone = true;
+        Cycle consumed = 1;
         for (unsigned c = 0; c < dut_.numCores(); ++c) {
             if (!dut_.core(c).done()) {
-                dut_.core(c).tick();
+                consumed = std::max(consumed,
+                                    dut_.core(c).tick(maxCycles - cycles));
                 allDone = false;
             }
         }
-        ++cycles;
+        cycles += consumed;
+        if (consumed > 1)
+            dut_.system().clint.tick(consumed - 1);
         if (allDone)
             break;
     }

@@ -94,8 +94,14 @@ opName(Op op)
     }
 }
 
-bool
-isLoad(Op op)
+// Switch-based ground truth for the per-op flag table. The public
+// predicates in op.h are single loads from opdetail::flags; these
+// constexpr impls exist only to populate that table at compile time,
+// so the readable switch form stays the single source of truth.
+namespace {
+
+constexpr bool
+isLoadImpl(Op op)
 {
     switch (op) {
       case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
@@ -108,8 +114,8 @@ isLoad(Op op)
     }
 }
 
-bool
-isStore(Op op)
+constexpr bool
+isStoreImpl(Op op)
 {
     switch (op) {
       case Op::Sb: case Op::Sh: case Op::Sw: case Op::Sd:
@@ -121,48 +127,48 @@ isStore(Op op)
     }
 }
 
-bool
-isAmo(Op op)
+constexpr bool
+isAmoImpl(Op op)
 {
     return op >= Op::AmoSwapW && op <= Op::AmoMaxuW
         ? true
         : (op >= Op::AmoSwapD && op <= Op::AmoMaxuD);
 }
 
-bool
-isLr(Op op)
+constexpr bool
+isLrImpl(Op op)
 {
     return op == Op::LrW || op == Op::LrD;
 }
 
-bool
-isSc(Op op)
+constexpr bool
+isScImpl(Op op)
 {
     return op == Op::ScW || op == Op::ScD;
 }
 
-bool
-isCondBranch(Op op)
+constexpr bool
+isCondBranchImpl(Op op)
 {
     return op >= Op::Beq && op <= Op::Bgeu;
 }
 
-bool
-isJump(Op op)
+constexpr bool
+isJumpImpl(Op op)
 {
     return op == Op::Jal || op == Op::Jalr;
 }
 
-bool
-isFp(Op op)
+constexpr bool
+isFpImpl(Op op)
 {
     return (op >= Op::Flw && op <= Op::FnmaddD);
 }
 
-bool
-readsFpRs1(Op op)
+constexpr bool
+readsFpRs1Impl(Op op)
 {
-    if (!isFp(op))
+    if (!isFpImpl(op))
         return false;
     switch (op) {
       case Op::Flw: case Op::Fld: case Op::Fsw: case Op::Fsd:
@@ -175,10 +181,10 @@ readsFpRs1(Op op)
     }
 }
 
-bool
-readsFpRs2(Op op)
+constexpr bool
+readsFpRs2Impl(Op op)
 {
-    if (!isFp(op))
+    if (!isFpImpl(op))
         return false;
     switch (op) {
       case Op::Fsw: case Op::Fsd:
@@ -198,10 +204,10 @@ readsFpRs2(Op op)
     }
 }
 
-bool
-writesFpRd(Op op)
+constexpr bool
+writesFpRdImpl(Op op)
 {
-    if (!isFp(op))
+    if (!isFpImpl(op))
         return false;
     switch (op) {
       case Op::Fsw: case Op::Fsd:
@@ -216,72 +222,50 @@ writesFpRd(Op op)
     }
 }
 
-bool
-isCsr(Op op)
+constexpr bool
+isCsrImpl(Op op)
 {
     return op >= Op::Csrrw && op <= Op::Csrrci;
 }
 
-bool
-isFence(Op op)
+constexpr bool
+isFenceImpl(Op op)
 {
     return op == Op::Fence || op == Op::FenceI || op == Op::SfenceVma;
 }
 
-bool
-isSystem(Op op)
+constexpr bool
+isSystemImpl(Op op)
 {
     switch (op) {
       case Op::Ecall: case Op::Ebreak: case Op::Mret: case Op::Sret:
       case Op::Wfi: case Op::SfenceVma:
         return true;
       default:
-        return isCsr(op);
+        return isCsrImpl(op);
     }
 }
 
-unsigned
-memSize(Op op)
+constexpr bool
+hasRs3Impl(Op op)
 {
     switch (op) {
-      case Op::Lb: case Op::Lbu: case Op::Sb:
-        return 1;
-      case Op::Lh: case Op::Lhu: case Op::Sh:
-        return 2;
-      case Op::Lw: case Op::Lwu: case Op::Sw: case Op::Flw: case Op::Fsw:
-      case Op::LrW: case Op::ScW:
-        return 4;
-      case Op::Ld: case Op::Sd: case Op::Fld: case Op::Fsd:
-      case Op::LrD: case Op::ScD:
-        return 8;
-      default:
-        if (isAmo(op)) {
-            return (op >= Op::AmoSwapD && op <= Op::AmoMaxuD) ? 8 : 4;
-        }
-        return 0;
-    }
-}
-
-bool
-loadSigned(Op op)
-{
-    switch (op) {
-      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
-      case Op::LrW: case Op::LrD:
+      case Op::FmaddS: case Op::FmsubS: case Op::FnmsubS: case Op::FnmaddS:
+      case Op::FmaddD: case Op::FmsubD: case Op::FnmsubD: case Op::FnmaddD:
         return true;
       default:
         return false;
     }
 }
 
-FuType
-fuType(Op op)
+constexpr FuType
+fuTypeImpl(Op op)
 {
-    if (isLoad(op))
+    if (isLoadImpl(op))
         return FuType::Ldu;
-    if (isStore(op) || isAmo(op))
+    if (isStoreImpl(op) || isAmoImpl(op))
         return FuType::Sta;   // split into Sta+Std by the rename stage
-    if (isCondBranch(op) || isJump(op) || isCsr(op) || isSystem(op))
+    if (isCondBranchImpl(op) || isJumpImpl(op) || isCsrImpl(op) || isSystemImpl(op))
         return FuType::Jmp;
     switch (op) {
       case Op::Mul: case Op::Mulh: case Op::Mulhsu: case Op::Mulhu:
@@ -304,23 +288,106 @@ fuType(Op op)
       case Op::FcvtDW: case Op::FcvtDWu: case Op::FcvtDL: case Op::FcvtDLu:
         return FuType::Jmp;   // int-to-float path shares the JMP/I2F unit
       default:
-        if (isFp(op))
+        if (isFpImpl(op))
             return FuType::Fmisc;
         return FuType::Alu;
     }
 }
 
-bool
-hasRs3(Op op)
+constexpr unsigned
+memSizeImpl(Op op)
 {
     switch (op) {
-      case Op::FmaddS: case Op::FmsubS: case Op::FnmsubS: case Op::FnmaddS:
-      case Op::FmaddD: case Op::FmsubD: case Op::FnmsubD: case Op::FnmaddD:
+      case Op::Lb: case Op::Lbu: case Op::Sb:
+        return 1;
+      case Op::Lh: case Op::Lhu: case Op::Sh:
+        return 2;
+      case Op::Lw: case Op::Lwu: case Op::Sw: case Op::Flw: case Op::Fsw:
+      case Op::LrW: case Op::ScW:
+        return 4;
+      case Op::Ld: case Op::Sd: case Op::Fld: case Op::Fsd:
+      case Op::LrD: case Op::ScD:
+        return 8;
+      default:
+        if (isAmoImpl(op)) {
+            return (op >= Op::AmoSwapD && op <= Op::AmoMaxuD) ? 8 : 4;
+        }
+        return 0;
+    }
+}
+
+constexpr bool
+loadSignedImpl(Op op)
+{
+    switch (op) {
+      case Op::Lb: case Op::Lh: case Op::Lw: case Op::Ld:
+      case Op::LrW: case Op::LrD:
         return true;
       default:
         return false;
     }
 }
+
+constexpr std::array<uint8_t, static_cast<size_t>(Op::NumOps)>
+buildMemSizeTable()
+{
+    std::array<uint8_t, static_cast<size_t>(Op::NumOps)> t{};
+    for (size_t i = 0; i < t.size(); ++i) {
+        const Op op = static_cast<Op>(i);
+        t[i] = static_cast<uint8_t>(memSizeImpl(op)) |
+               (loadSignedImpl(op) ? 0x80 : 0);
+    }
+    return t;
+}
+
+constexpr std::array<FuType, static_cast<size_t>(Op::NumOps)>
+buildFuTable()
+{
+    std::array<FuType, static_cast<size_t>(Op::NumOps)> t{};
+    for (size_t i = 0; i < t.size(); ++i)
+        t[i] = fuTypeImpl(static_cast<Op>(i));
+    return t;
+}
+
+constexpr std::array<uint16_t, static_cast<size_t>(Op::NumOps)>
+buildFlags()
+{
+    std::array<uint16_t, static_cast<size_t>(Op::NumOps)> t{};
+    for (size_t i = 0; i < t.size(); ++i) {
+        const Op op = static_cast<Op>(i);
+        uint16_t f = 0;
+        if (isLoadImpl(op)) f |= opdetail::kLoad;
+        if (isStoreImpl(op)) f |= opdetail::kStore;
+        if (isAmoImpl(op)) f |= opdetail::kAmo;
+        if (isLrImpl(op)) f |= opdetail::kLr;
+        if (isScImpl(op)) f |= opdetail::kSc;
+        if (isCondBranchImpl(op)) f |= opdetail::kCondBranch;
+        if (isJumpImpl(op)) f |= opdetail::kJump;
+        if (isFpImpl(op)) f |= opdetail::kFp;
+        if (readsFpRs1Impl(op)) f |= opdetail::kReadsFpRs1;
+        if (readsFpRs2Impl(op)) f |= opdetail::kReadsFpRs2;
+        if (writesFpRdImpl(op)) f |= opdetail::kWritesFpRd;
+        if (isCsrImpl(op)) f |= opdetail::kCsr;
+        if (isFenceImpl(op)) f |= opdetail::kFence;
+        if (isSystemImpl(op)) f |= opdetail::kSystem;
+        if (hasRs3Impl(op)) f |= opdetail::kRs3;
+        t[i] = f;
+    }
+    return t;
+}
+
+} // namespace
+
+namespace opdetail {
+// constexpr initializer + const object => constant-initialized, so the
+// table is ready before any other static initializer runs.
+const std::array<uint16_t, static_cast<size_t>(Op::NumOps)> flags =
+    buildFlags();
+const std::array<FuType, static_cast<size_t>(Op::NumOps)> fuTable =
+    buildFuTable();
+const std::array<uint8_t, static_cast<size_t>(Op::NumOps)> memSizeTable =
+    buildMemSizeTable();
+} // namespace opdetail
 
 const char *
 opClassName(Op op)

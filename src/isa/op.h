@@ -11,6 +11,8 @@
 #ifndef MINJIE_ISA_OP_H
 #define MINJIE_ISA_OP_H
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace minjie::isa {
@@ -104,41 +106,115 @@ const char *opName(Op op);
  */
 const char *opClassName(Op op);
 
-bool isLoad(Op op);
-bool isStore(Op op);
-bool isAmo(Op op);
-bool isLr(Op op);
-bool isSc(Op op);
+/**
+ * Per-op classification bits, constant-initialized in op.cpp from the
+ * switch-based class definitions. The cycle model's rename/commit
+ * paths query several predicates per dynamic instruction, so each
+ * public predicate below is one table load instead of an out-of-line
+ * switch call.
+ */
+namespace opdetail {
+enum : uint16_t {
+    kLoad = 1u << 0,
+    kStore = 1u << 1,
+    kAmo = 1u << 2,
+    kLr = 1u << 3,
+    kSc = 1u << 4,
+    kCondBranch = 1u << 5,
+    kJump = 1u << 6,
+    kFp = 1u << 7,
+    kReadsFpRs1 = 1u << 8,
+    kReadsFpRs2 = 1u << 9,
+    kWritesFpRd = 1u << 10,
+    kCsr = 1u << 11,
+    kFence = 1u << 12,
+    kSystem = 1u << 13,
+    kRs3 = 1u << 14,
+};
+extern const std::array<uint16_t, static_cast<size_t>(Op::NumOps)> flags;
+extern const std::array<FuType, static_cast<size_t>(Op::NumOps)> fuTable;
+/// Low 7 bits: access size in bytes; bit 7: load result sign-extends.
+extern const std::array<uint8_t, static_cast<size_t>(Op::NumOps)>
+    memSizeTable;
+inline uint16_t
+of(Op op)
+{
+    return flags[static_cast<size_t>(op)];
+}
+} // namespace opdetail
+
+inline bool isLoad(Op op) { return opdetail::of(op) & opdetail::kLoad; }
+inline bool isStore(Op op) { return opdetail::of(op) & opdetail::kStore; }
+inline bool isAmo(Op op) { return opdetail::of(op) & opdetail::kAmo; }
+inline bool isLr(Op op) { return opdetail::of(op) & opdetail::kLr; }
+inline bool isSc(Op op) { return opdetail::of(op) & opdetail::kSc; }
 /** Conditional branches only. */
-bool isCondBranch(Op op);
+inline bool
+isCondBranch(Op op)
+{
+    return opdetail::of(op) & opdetail::kCondBranch;
+}
 /** jal/jalr. */
-bool isJump(Op op);
+inline bool isJump(Op op) { return opdetail::of(op) & opdetail::kJump; }
 /** Any control transfer the branch predictor must handle. */
-inline bool isControl(Op op) { return isCondBranch(op) || isJump(op); }
+inline bool
+isControl(Op op)
+{
+    return opdetail::of(op) & (opdetail::kCondBranch | opdetail::kJump);
+}
 /** True when the op reads/writes the FP register file. */
-bool isFp(Op op);
+inline bool isFp(Op op) { return opdetail::of(op) & opdetail::kFp; }
 /** True when rs1 names an FP register. */
-bool readsFpRs1(Op op);
+inline bool
+readsFpRs1(Op op)
+{
+    return opdetail::of(op) & opdetail::kReadsFpRs1;
+}
 /** True when rs2 names an FP register. */
-bool readsFpRs2(Op op);
+inline bool
+readsFpRs2(Op op)
+{
+    return opdetail::of(op) & opdetail::kReadsFpRs2;
+}
 /** True when rd names an FP register. */
-bool writesFpRd(Op op);
-bool isCsr(Op op);
-bool isFence(Op op);
-bool isSystem(Op op);
+inline bool
+writesFpRd(Op op)
+{
+    return opdetail::of(op) & opdetail::kWritesFpRd;
+}
+inline bool isCsr(Op op) { return opdetail::of(op) & opdetail::kCsr; }
+inline bool isFence(Op op) { return opdetail::of(op) & opdetail::kFence; }
+inline bool isSystem(Op op) { return opdetail::of(op) & opdetail::kSystem; }
 /** True for any op that may access memory (loads, stores, amo, lr/sc). */
-inline bool isMem(Op op) { return isLoad(op) || isStore(op) || isAmo(op); }
+inline bool
+isMem(Op op)
+{
+    return opdetail::of(op) &
+           (opdetail::kLoad | opdetail::kStore | opdetail::kAmo);
+}
 
 /** Memory access size in bytes for memory ops (1/2/4/8). */
-unsigned memSize(Op op);
+inline unsigned
+memSize(Op op)
+{
+    return opdetail::memSizeTable[static_cast<size_t>(op)] & 0x7f;
+}
 /** True when a load result is sign-extended. */
-bool loadSigned(Op op);
+inline bool
+loadSigned(Op op)
+{
+    return opdetail::memSizeTable[static_cast<size_t>(op)] & 0x80;
+}
 
 /** Execution-unit class for the cycle model. */
-FuType fuType(Op op);
+inline FuType
+fuType(Op op)
+{
+    return opdetail::fuTable[static_cast<size_t>(op)];
+}
 
 /** True when the op uses rs3 (FMA family). */
-bool hasRs3(Op op);
+inline bool hasRs3(Op op) { return opdetail::of(op) & opdetail::kRs3; }
 
 } // namespace minjie::isa
 

@@ -118,7 +118,7 @@ Mmu::walk(Addr vaddr, Access acc, Priv eff, Addr &paddr)
         unsigned idx = static_cast<unsigned>(
             (vaddr >> (12 + 9 * level)) & 0x1ff);
         pteAddr = a + idx * 8;
-        if (!mem_.read(pteAddr, 8, pte)) {
+        if (!readPhys(pteAddr, 8, pte)) {
             ++stats_.pageFaults;
             return Trap::make(acc == Access::Fetch
                                   ? Exc::InstAccessFault
@@ -181,7 +181,7 @@ Mmu::walk(Addr vaddr, Access acc, Priv eff, Addr &paddr)
     // Hardware A/D update (Svadu-style, matching the DUT configuration).
     uint64_t newPte = pte | PTE_A | (acc == Access::Store ? PTE_D : 0);
     if (newPte != pte)
-        mem_.write(pteAddr, 8, newPte);
+        writePhys(pteAddr, 8, newPte);
 
     // Compose the physical address; superpages take low PPN bits from va.
     Addr vpn = vaddr >> 12;
@@ -223,7 +223,7 @@ Mmu::load(Addr vaddr, unsigned size, uint64_t &data)
     Trap t = translate(vaddr, Access::Load, paddr);
     if (t.pending())
         return t;
-    if (!mem_.read(paddr, size, data))
+    if (!readPhys(paddr, size, data))
         return Trap::make(Exc::LoadAccessFault, vaddr);
     return Trap::none();
 }
@@ -244,7 +244,7 @@ Mmu::store(Addr vaddr, unsigned size, uint64_t data)
     Trap t = translate(vaddr, Access::Store, paddr);
     if (t.pending())
         return t;
-    if (!mem_.write(paddr, size, data))
+    if (!writePhys(paddr, size, data))
         return Trap::make(Exc::StoreAccessFault, vaddr);
     return Trap::none();
 }
@@ -258,8 +258,22 @@ Mmu::fetch(Addr vaddr, uint32_t &raw)
     Trap t = translate(vaddr, Access::Fetch, paddr);
     if (t.pending())
         return t;
+
+    // Fast path: when all 4 bytes sit in one page, grab them with a
+    // single bus read. A compressed instruction just ignores the high
+    // half, so the result is identical to the two-halfword path; if
+    // the wide read fails (e.g. the last 2 bytes of the DRAM window or
+    // an MMIO fetch), fall through to the exact bytewise sequence.
+    uint64_t wide;
+    if ((vaddr & 0xfff) <= 0xffc && readPhys(paddr, 4, wide)) {
+        raw = static_cast<uint32_t>(wide);
+        if ((raw & 0x3) != 0x3)
+            raw &= 0xffff; // compressed: match the halfword read
+        return Trap::none();
+    }
+
     uint64_t lo;
-    if (!mem_.read(paddr, 2, lo))
+    if (!readPhys(paddr, 2, lo))
         return Trap::make(Exc::InstAccessFault, vaddr);
     raw = static_cast<uint32_t>(lo);
     if ((raw & 0x3) != 0x3)
@@ -273,7 +287,7 @@ Mmu::fetch(Addr vaddr, uint32_t &raw)
             return t2;
     }
     uint64_t hi;
-    if (!mem_.read(phi, 2, hi))
+    if (!readPhys(phi, 2, hi))
         return Trap::make(Exc::InstAccessFault, vhi);
     raw |= static_cast<uint32_t>(hi) << 16;
     return Trap::none();

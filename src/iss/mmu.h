@@ -76,6 +76,13 @@ class Mmu
     const MmuStats &stats() const { return stats_; }
     mem::MemPort &mem() { return mem_; }
 
+    /**
+     * Let translation and data accesses that land in @p dram bypass
+     * the bus's virtual dispatch. Optional; when unset every access
+     * goes through the generic port as before.
+     */
+    void bindDram(mem::PhysMem *dram) { dram_ = dram; }
+
     /** Last translated physical address (probe support). */
     Addr lastPaddr() const { return lastPaddr_; }
 
@@ -94,8 +101,31 @@ class Mmu
     isa::Priv effectivePriv(Access acc) const;
     isa::Exc faultFor(Access acc) const;
 
+    /**
+     * Direct DRAM access used when the target range is known to be
+     * backed by @p dram_: the bus would route there anyway, so this
+     * skips the virtual dispatch on the fetch/load/store hot path.
+     * Falls back to the full bus for MMIO and unbound ports.
+     */
+    bool
+    readPhys(Addr paddr, unsigned size, uint64_t &data)
+    {
+        if (dram_ && dram_->contains(paddr, size))
+            return dram_->read(paddr, size, data);
+        return mem_.read(paddr, size, data);
+    }
+
+    bool
+    writePhys(Addr paddr, unsigned size, uint64_t data)
+    {
+        if (dram_ && dram_->contains(paddr, size))
+            return dram_->write(paddr, size, data);
+        return mem_.write(paddr, size, data);
+    }
+
     ArchState &st_;
     mem::MemPort &mem_;
+    mem::PhysMem *dram_ = nullptr;
     TlbEntry tlb_[TLB_SIZE];
     MmuStats stats_;
     Addr lastPaddr_ = 0;

@@ -88,6 +88,15 @@ collectCore(CounterGroup &g, xs::Core &core)
         rh.set("bucket" + std::to_string(b), p.readyHist[b]);
     rh.set("samples", p.readySamples);
 
+    // Host-speed metadata: how much of the run the event-driven model
+    // fast-forwarded. Deliberately outside PerfCounters — the skipped
+    // cycles are already charged to the counters above, and the
+    // differential rig compares PerfCounters byte-for-byte across
+    // model configurations.
+    CounterGroup &sched = g.group("sched");
+    sched.set("skipped_cycles", core.skippedCycles());
+    sched.set("skip_jumps", core.skipJumps());
+
     collectMmuInto(g, core.oracleMmu().stats());
 }
 

@@ -21,6 +21,23 @@ enum class IssuePolicy : uint8_t {
     Pubs, ///< prioritize unconfident branch slices [Ando, MICRO'18]
 };
 
+/**
+ * Simulation-model fast-path knobs. These change how fast the model
+ * runs on the host, never what it computes: every combination is
+ * cycle-exact against the reference scan-based path (byte-identical
+ * PerfCounters and commit-probe streams — enforced by
+ * tests/xiangshan/sched_diff_test.cpp). Each knob is independently
+ * ablatable via `--xs-no-bitset` / `--xs-no-skip` / `--xs-no-batch`
+ * (mirroring the NEMU `--nemu-no-*` flags) so the reference path stays
+ * alive as the oracle of the differential rig.
+ */
+struct ModelOpts
+{
+    bool bitsetSched = true; ///< bitset scoreboard/wakeup + SoA slots
+    bool skipAhead = true;   ///< event-driven idle-cycle skipping
+    bool batchCommit = true; ///< batched commit→DiffTest probe delivery
+};
+
 /** Per-functional-unit-class execution resources. */
 struct FuCfg
 {
@@ -67,6 +84,8 @@ struct CoreConfig
 
     IssuePolicy policy = IssuePolicy::Age;
     unsigned pubsSliceDepth = 3; ///< producer-chain marking depth
+
+    ModelOpts model; ///< host-speed knobs (cycle-exact, see above)
 
     // Memory system.
     uarch::MemCfg mem;

@@ -24,7 +24,8 @@
 
 #include <deque>
 #include <functional>
-#include <unordered_map>
+#include <map>
+#include <vector>
 
 #include "difftest/probes.h"
 #include "iss/exec.h"
@@ -103,8 +104,19 @@ class Core
     Core(const CoreConfig &cfg, HartId hart, iss::System &sys,
          uarch::MemHierarchy &mem, Addr entry);
 
-    /** Advance one cycle. */
-    void tick();
+    /**
+     * Advance one cycle — or more: with event-driven skip-ahead
+     * enabled, a provably idle cycle fast-forwards to the next cycle
+     * any stage can make progress, charging every skipped cycle to the
+     * same counters the per-cycle reference path would have bumped.
+     * @param budget upper bound on cycles this call may consume (>= 1);
+     * pass the caller's remaining cycle allowance so a skip never
+     * overshoots a maxCycles limit the reference path would honor.
+     * @return simulated cycles consumed (>= 1, <= budget). Callers
+     * that tick a shared CLINT once per cycle must catch it up by the
+     * extra cycles (see Soc::run).
+     */
+    Cycle tick(Cycle budget = ~0ULL);
 
     /** True once the oracle has halted and the pipeline has drained. */
     bool done() const;
@@ -117,6 +129,21 @@ class Core
     setCommitHook(std::function<void(const difftest::CommitProbe &)> fn)
     {
         commitHook_ = std::move(fn);
+    }
+
+    /**
+     * Batched commit probe interface: with ModelOpts::batchCommit the
+     * probes of one cycle's commit group are delivered in a single
+     * call (program order preserved), amortizing the per-instruction
+     * hook indirection; with batching ablated the same hook is called
+     * once per instruction with n == 1, so subscribers observe an
+     * identical probe stream either way.
+     */
+    void
+    setCommitBatchHook(
+        std::function<void(const difftest::CommitProbe *, unsigned)> fn)
+    {
+        commitBatchHook_ = std::move(fn);
     }
 
     /** Store buffer drain probe (store enters the cache hierarchy). */
@@ -146,8 +173,21 @@ class Core
 
     /** Sibling cores whose LR reservations must be broken by this
      *  core's stores (RVWMO reservation-granule semantics). Set by the
-     *  Soc; may be null for single-core systems. */
-    void setPeers(const std::vector<Core *> *peers) { peers_ = peers; }
+     *  Soc; may be null for single-core systems. Multi-core SoCs tick
+     *  their harts in lockstep, so skip-ahead is disabled here. */
+    void
+    setPeers(const std::vector<Core *> *peers)
+    {
+        peers_ = peers;
+        if (peers_)
+            skipEnabled_ = false;
+    }
+
+    /** Idle cycles fast-forwarded by event-driven skip-ahead (a subset
+     *  of perf().cycles; 0 with `--xs-no-skip`). */
+    Cycle skippedCycles() const { return skippedCycles_; }
+    /** Number of skip jumps taken (each covers >= 1 idle cycle). */
+    uint64_t skipJumps() const { return skipJumps_; }
     iss::Mmu &oracleMmu() { return mmu_; }
 
     /** Fill the CSR diff probe from the oracle's committed view. */
@@ -241,13 +281,70 @@ class Core
 
     // ---- pipeline stages (called in reverse order each tick) ----
     unsigned doCommit(); ///< @return instructions committed this cycle
-    void drainStoreBuffer();
-    void doIssue();
+    bool drainStoreBuffer(); ///< @return true when a store drained
+    unsigned doIssue();      ///< @return instructions issued this cycle
     void doDispatch();
     void doFetch();
 
     /** Charge this cycle to exactly one top-down bucket. */
     void classifyCycle(unsigned committed);
+
+    /** Window slot of @p seq (seqs are dense; the window capacity is a
+     *  power of two >= max in-flight instructions, so live seqs never
+     *  collide). Indexes recRing_ and the bitset-scheduler arrays. */
+    unsigned slotOf(uint64_t seq) const
+    {
+        return static_cast<unsigned>(seq) & winMask_;
+    }
+    /** Payload of a seq known to be live (in fetchBuffer_ or rob_). */
+    Rec &ring(uint64_t seq) { return recRing_[slotOf(seq)]; }
+    const Rec &ring(uint64_t seq) const { return recRing_[slotOf(seq)]; }
+
+    // ---- bitset scoreboard (ModelOpts::bitsetSched) ----
+    bool
+    readyBit(uint64_t seq) const
+    {
+        unsigned s = slotOf(seq);
+        return (readyBits_[s >> 6] >> (s & 63)) & 1;
+    }
+    void
+    setReadyBit(uint64_t seq)
+    {
+        unsigned s = slotOf(seq);
+        readyBits_[s >> 6] |= 1ULL << (s & 63);
+    }
+    void
+    clearReadyBit(uint64_t seq)
+    {
+        unsigned s = slotOf(seq);
+        readyBits_[s >> 6] &= ~(1ULL << (s & 63));
+    }
+    /** Fast operand-available test: committed or woken-up producer.
+     *  Only valid for seqs that can actually be producers (live seqs
+     *  always are: renamed sources point at in-flight or committed
+     *  instructions, never at unallocated ones). */
+    bool
+    srcDone(uint64_t producerSeq) const
+    {
+        return producerSeq == 0 || producerSeq <= lastCommittedSeq_ ||
+               readyBit(producerSeq);
+    }
+    /** Record @p rec's completion cycle and schedule its wakeup. */
+    void scheduleCompletion(Rec &rec, Cycle at);
+    /** Fire all completion events with cycle <= now_ (sets bits). */
+    void drainCompletions();
+    /** Set @p seq's ready bit and wake RS entries waiting on it. */
+    void markReady(uint64_t seq);
+    /** Insert @p seq into FU @p ft's ready queue (ascending seq). */
+    void insertReady(unsigned ft, uint64_t seq);
+
+    // ---- event-driven skip-ahead (ModelOpts::skipAhead) ----
+    /** Earliest future cycle at which any stage can make progress;
+     *  0 when no timed event is pending. */
+    Cycle nextEventAt() const;
+    /** Replicate the just-executed idle tick's per-cycle counter
+     *  increments over @p extra more cycles (closed form). */
+    void applyIdleDelta(Cycle extra);
 
     /** Functionally execute the next oracle instruction into @p rec.
      *  @return false when the oracle cannot make progress. */
@@ -275,19 +372,69 @@ class Core
     std::function<bool()> haltFn_;
     bool oracleHalted_ = false;
 
+    /**
+     * Fixed-capacity FIFO of sequence numbers. The ROB and fetch
+     * buffer have hard capacity bounds from the config, so a
+     * power-of-two ring with head/count indices replaces std::deque
+     * on the per-instruction push/pop path with fully inlined
+     * arithmetic. init() must be called with the capacity bound
+     * before use; push_back beyond it is the caller's bug (the
+     * dispatch/fetch stages enforce the bound first).
+     */
+    struct SeqRing {
+        std::vector<uint64_t> buf;
+        uint32_t mask = 0, head = 0, count = 0;
+        void
+        init(unsigned cap)
+        {
+            unsigned c = 1;
+            while (c < cap)
+                c <<= 1;
+            buf.assign(c, 0);
+            mask = c - 1;
+            head = 0;
+            count = 0;
+        }
+        bool empty() const { return count == 0; }
+        size_t size() const { return count; }
+        uint64_t front() const { return buf[head]; }
+        uint64_t back() const { return buf[(head + count - 1) & mask]; }
+        uint64_t
+        operator[](size_t i) const
+        {
+            return buf[(head + static_cast<uint32_t>(i)) & mask];
+        }
+        void
+        push_back(uint64_t v)
+        {
+            buf[(head + count) & mask] = v;
+            ++count;
+        }
+        void
+        pop_front()
+        {
+            head = (head + 1) & mask;
+            --count;
+        }
+    };
+
     // Frontend.
     uarch::MicroBtb ubtb_;
     uarch::Btb btb_;
     uarch::Tage tage_;
     uarch::Ittage ittage_;
     uarch::Ras ras_;
-    std::deque<Rec> fetchBuffer_;
+    SeqRing fetchBuffer_; ///< fetched, not yet dispatched
     Cycle fetchResumeAt_ = 0;
     uint64_t mispredictWaitSeq_ = 0; ///< fetch stalled on this branch
     uint64_t serializeWaitSeq_ = 0;  ///< fetch stalled until commit
 
-    // Window.
-    std::deque<Rec> rob_;
+    // Window. Rec payloads live in recRing_, a seq-slot-indexed ring
+    // (fetch writes each ~300-byte record exactly once, in place);
+    // rob_ and fetchBuffer_ carry only sequence numbers, so the
+    // fetch -> dispatch -> commit flow never copies a Rec.
+    std::vector<Rec> recRing_; ///< [slotOf(seq)] payloads of live seqs
+    SeqRing rob_;
     uint64_t nextSeq_ = 1;
     uint64_t lastCommittedSeq_ = 0;
     std::vector<uint64_t> renameMap_; ///< 64 arch regs -> producer seq
@@ -302,8 +449,66 @@ class Core
 
     // Store path.
     std::deque<PendingStore> storeBuffer_;
-    /// 8B slot -> in-flight (dispatched..drained) store seqs, oldest first
-    std::unordered_map<Addr, std::vector<uint64_t>> inflightStores_;
+    /// 8B slot -> in-flight (dispatched..drained) store seqs, oldest
+    /// first. Sorted container: forwarding only ever looks up a single
+    /// key, but a hash map here is the MJ-DET iteration-order bug class
+    /// (see PR 3/PR 8) waiting for the first `for (auto &kv : ...)`.
+    std::map<Addr, std::vector<uint64_t>> inflightStores_;
+
+    // ---- fast-path scheduling state ----
+    // Bitset scoreboard: one ready bit per window slot. A seq's bit is
+    // set once its result is available (completedAt <= now_) and stays
+    // set until the slot is reallocated to a new seq at fetch. The
+    // scan path recomputes the same predicate from Rec fields instead.
+    unsigned winMask_ = 0; ///< winCap - 1, winCap = pow2 >= max inflight
+    std::vector<uint64_t> readyBits_;
+    /// Pending completion events (cycle, seq), min-heap on cycle.
+    std::vector<std::pair<Cycle, uint64_t>> compHeap_;
+
+    /// Decode memo: decode(raw) is a pure function of the encoding,
+    /// so the oracle's fetch path caches it in a direct-mapped table
+    /// keyed by the raw bits (host-side only; no timing impact).
+    struct DecodeEnt {
+        isa::DecodedInst di{};
+        bool valid = false;
+    };
+    static constexpr size_t kDecodeCacheSize = 8192; ///< pow2
+    std::vector<DecodeEnt> decodeCache_;
+    /// Events due exactly one cycle out (the single-cycle-op common
+    /// case): they always fire at the very next drain, so a plain
+    /// FIFO avoids the heap's push/pop entirely.
+    std::vector<uint64_t> nextCycleQ_;
+
+    // Wakeup-driven issue: instead of scanning every RS entry every
+    // cycle, each dispatched entry counts its unready sources and
+    // registers itself on each producer's waiter list; when a
+    // producer's ready bit fires, waiters decrement and drop into the
+    // per-FU ready queue at zero. Sound because readiness is monotone
+    // (bits persist until slot reuse, which commit-gates) and because
+    // the oracle-driven frontend has no wrong-path flush: RS entries
+    // leave only via issue, so queue membership never needs revoking.
+    std::vector<uint8_t> pendingSrcs_;           ///< [slot] unready srcs
+    std::vector<uint8_t> slotFu_;                ///< [slot] FuType
+    std::vector<uint64_t> slotSeq_;              ///< [slot] seq
+    std::vector<std::vector<uint32_t>> waiters_; ///< [slot] -> consumers
+    std::vector<uint64_t> readyQ_[N_FU]; ///< ready, ascending seq
+    unsigned rsCount_[N_FU] = {};        ///< RS occupancy (fast mode)
+
+    // Event-driven skip-ahead bookkeeping.
+    bool skipEnabled_ = true; ///< cfg.model.skipAhead && single-core
+    bool lastTickIdle_ = false; ///< arms the snapshot (host-only state)
+    Cycle skippedCycles_ = 0;
+    uint64_t skipJumps_ = 0;
+    PerfCounters idleSnap_; ///< counters before the last idle tick
+
+    // Batched commit delivery.
+    std::function<void(const difftest::CommitProbe *, unsigned)>
+        commitBatchHook_;
+    std::vector<difftest::CommitProbe> commitBatch_;
+
+    // Per-FU scratch for doIssue ready-candidate collection (avoids
+    // per-cycle allocation in the hot loop).
+    std::vector<uint64_t> readyScratch_;
 
     // Hooks and misc.
     std::function<void(const difftest::CommitProbe &)> commitHook_;

@@ -32,13 +32,20 @@ Soc::run(Cycle maxCycles)
     while (r.cycles < maxCycles) {
         sys_.clint.tick();
         bool allDone = true;
+        Cycle consumed = 1;
         for (auto &core : cores_) {
             if (!core->done()) {
-                core->tick();
+                consumed = std::max(consumed,
+                                    core->tick(maxCycles - r.cycles));
                 allDone = false;
             }
         }
-        ++r.cycles;
+        r.cycles += consumed;
+        // Event-driven skip-ahead: the core fast-forwarded through
+        // idle cycles the loop never saw; catch the CLINT up so mtime
+        // matches the per-cycle reference path at the next fetch.
+        if (consumed > 1)
+            sys_.clint.tick(consumed - 1);
         if (allDone) {
             r.completed = true;
             break;
@@ -54,13 +61,17 @@ Soc::runUntilInstrs(InstCount instrs, Cycle maxCycles)
     while (r.cycles < maxCycles && cores_[0]->perf().instrs < instrs) {
         sys_.clint.tick();
         bool allDone = true;
+        Cycle consumed = 1;
         for (auto &core : cores_) {
             if (!core->done()) {
-                core->tick();
+                consumed = std::max(consumed,
+                                    core->tick(maxCycles - r.cycles));
                 allDone = false;
             }
         }
-        ++r.cycles;
+        r.cycles += consumed;
+        if (consumed > 1)
+            sys_.clint.tick(consumed - 1);
         if (allDone) {
             r.completed = true;
             break;

@@ -62,6 +62,22 @@ TEST(Rules, DeterminismFixtureFiresExactIds)
     EXPECT_EQ(res.findings.size(), 6u);
 }
 
+TEST(Rules, DeterminismScopeCoversXiangshan)
+{
+    // Regression for the scope extension that came with the scheduler
+    // fast paths: the DUT timing model must be bit-reproducible (the
+    // sched_diff rig depends on it), so src/xiangshan/ is inside the
+    // MJ-DET contract and fires exactly like src/campaign/.
+    auto res = plainEngine().runOnFile(
+        loadFixture("determinism.cpp", "src/xiangshan/fixture.cpp"));
+    auto ids = idCounts(res);
+    EXPECT_EQ(ids["MJ-DET-001"], 2);
+    EXPECT_EQ(ids["MJ-DET-002"], 2);
+    EXPECT_EQ(ids["MJ-DET-003"], 1);
+    EXPECT_EQ(ids["MJ-DET-004"], 1);
+    EXPECT_EQ(res.findings.size(), 6u);
+}
+
 TEST(Rules, DeterminismScopeIsEnforced)
 {
     // Same content outside the deterministic paths: no contract, no

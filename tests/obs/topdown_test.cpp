@@ -100,9 +100,12 @@ runAndCollect(const wl::Program &prog, Cycle maxCycles)
     xs::Soc soc(xs::CoreConfig::nh());
     prog.loadInto(soc.system().dram);
     soc.setEntry(prog.entry);
-    for (Cycle c = 0; c < maxCycles && !soc.core(0).done(); ++c) {
+    for (Cycle c = 0; c < maxCycles && !soc.core(0).done();) {
         soc.system().clint.tick();
-        soc.core(0).tick();
+        Cycle consumed = soc.core(0).tick(maxCycles - c);
+        c += consumed;
+        if (consumed > 1)
+            soc.system().clint.tick(consumed - 1);
     }
     CounterGroup root;
     collectSoc(root, soc);

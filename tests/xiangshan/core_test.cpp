@@ -97,6 +97,36 @@ TEST(Core, FinalArchStateMatchesReference)
         EXPECT_EQ(dut.x[i], refSt.x[i]) << "x" << i;
 }
 
+TEST(Core, GoldenTimingPin)
+{
+    // Exact timing pin: the NH model on the coremark proxy must
+    // reproduce these numbers to the cycle. The model is fully
+    // deterministic, so any drift here is a (possibly accidental)
+    // timing-model change — update the constants only alongside a
+    // deliberate one, and say so in the commit message. The
+    // sched_diff rig separately proves the fast paths can't be the
+    // source of such a drift.
+    Soc soc(CoreConfig::nh());
+    auto r = runProgram(soc, wl::coremarkProxy(50));
+    ASSERT_TRUE(r.completed);
+    const auto &p = soc.core(0).perf();
+    EXPECT_EQ(p.cycles, 96845u);
+    EXPECT_EQ(p.instrs, 28592u);
+    EXPECT_DOUBLE_EQ(p.ipc(), 28592.0 / 96845.0);
+    EXPECT_EQ(p.tdRetiring, 8415u);
+    EXPECT_EQ(p.tdFrontend, 5803u);
+    EXPECT_EQ(p.tdBadSpec, 440u);
+    EXPECT_EQ(p.tdBackendMem, 81693u);
+    EXPECT_EQ(p.tdBackendCore, 494u);
+    // The top-down decomposition is a partition of cycles: the five
+    // buckets must sum exactly, with no residue lane.
+    EXPECT_EQ(p.tdRetiring + p.tdFrontend + p.tdBadSpec +
+                  p.tdBackendMem + p.tdBackendCore,
+              p.cycles);
+    EXPECT_EQ(p.branches, 6451u);
+    EXPECT_EQ(p.branchMispredicts, 590u);
+}
+
 TEST(Core, PredictableLoopHasFewMispredicts)
 {
     Soc soc(CoreConfig::nh());

@@ -50,6 +50,10 @@ usage()
         "  --nemu-no-fastpath\n"
         "                   ablate NEMU's memory fast path (host TLB +\n"
         "                   direct DRAM) in lockstep jobs\n"
+        "  --xs-no-bitset   DUT reference scan-based scheduling in\n"
+        "                   DiffTest jobs (cycle-exact, slower)\n"
+        "  --xs-no-skip     ablate DUT event-driven idle-cycle skipping\n"
+        "  --xs-no-batch    per-instruction DUT commit probe delivery\n"
         "  --perf           collect per-job DUT perf summaries for\n"
         "                   DiffTest jobs (top-down buckets, ipc) and\n"
         "                   a merged aggregate in the JSON report\n"
@@ -155,6 +159,12 @@ main(int argc, char **argv)
             cfg.lockstep.nemuChain = false;
         } else if (a == "--nemu-no-fastpath") {
             cfg.lockstep.nemuFastPath = false;
+        } else if (a == "--xs-no-bitset") {
+            cfg.xsModel.bitsetSched = false;
+        } else if (a == "--xs-no-skip") {
+            cfg.xsModel.skipAhead = false;
+        } else if (a == "--xs-no-batch") {
+            cfg.xsModel.batchCommit = false;
         } else if (a == "--perf") {
             cfg.perf = true;
         } else if (a == "--no-shrink") {

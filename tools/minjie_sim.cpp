@@ -14,6 +14,7 @@
  * workflow (Section III-E).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,6 +43,7 @@ struct Options
     bool difftest = false;
     Cycle lightsssInterval = 0;
     uint64_t faultAfter = 0; // inject a load fault (difftest demo)
+    xs::ModelOpts model;     // --xs-no-* fast-path ablations
 };
 
 void
@@ -57,6 +59,9 @@ usage()
         "  --difftest     co-simulate against a NEMU REF (xiangshan)\n"
         "  --lightsss N   fork a snapshot every N cycles (xiangshan)\n"
         "  --inject-fault corrupt one load (exercises the checkers)\n"
+        "  --xs-no-bitset reference scan-based scheduling (xiangshan)\n"
+        "  --xs-no-skip   disable event-driven idle-cycle skipping\n"
+        "  --xs-no-batch  per-instruction commit probe delivery\n"
         "  --list         list available workloads\n");
 }
 
@@ -130,6 +135,7 @@ runXiangshan(const Options &opt, const wl::Program &prog)
                          : opt.config == "gem5ish"
                              ? xs::CoreConfig::gem5ish()
                              : xs::CoreConfig::nh();
+    cfg.model = opt.model;
     xs::Soc soc(cfg);
     prog.loadInto(soc.system().dram);
     soc.setEntry(prog.entry);
@@ -166,13 +172,20 @@ runXiangshan(const Options &opt, const wl::Program &prog)
         }
         soc.system().clint.tick();
         bool allDone = true;
+        Cycle consumed = 1;
+        // LightSSS snapshots fork at loop-visible cycles only; with
+        // skip-ahead the fork grid coarsens across idle stretches but
+        // every forked state is still exact.
+        Cycle budget = maxCycles - cycle;
         for (unsigned c = 0; c < soc.numCores(); ++c) {
             if (!soc.core(c).done()) {
-                soc.core(c).tick();
+                consumed = std::max(consumed, soc.core(c).tick(budget));
                 allDone = false;
             }
         }
-        ++cycle;
+        cycle += consumed;
+        if (consumed > 1)
+            soc.system().clint.tick(consumed - 1);
         if (dt && !dt->ok()) {
             std::printf("[difftest] MISMATCH: %s\n",
                         dt->failures().front().c_str());
@@ -242,6 +255,12 @@ main(int argc, char **argv)
             opt.lightsssInterval = std::strtoull(next(), nullptr, 0);
         else if (arg == "--inject-fault")
             opt.faultAfter = 1;
+        else if (arg == "--xs-no-bitset")
+            opt.model.bitsetSched = false;
+        else if (arg == "--xs-no-skip")
+            opt.model.skipAhead = false;
+        else if (arg == "--xs-no-batch")
+            opt.model.batchCommit = false;
         else if (arg == "--list") {
             std::printf("workloads: coremark memstress sum sv39");
             for (const auto &s : wl::specIntSuite())

@@ -222,13 +222,17 @@ cmdRecordXiangshan(const Options &opt, const wl::Program &prog,
            soc.core(0).perf().instrs < opt.maxInstrs) {
         soc.system().clint.tick();
         bool allDone = true;
+        Cycle consumed = 1;
         for (unsigned c = 0; c < soc.numCores(); ++c) {
             if (!soc.core(c).done()) {
-                soc.core(c).tick();
+                consumed = std::max(
+                    consumed, soc.core(c).tick(opt.maxCycles - cycle));
                 allDone = false;
             }
         }
-        ++cycle;
+        cycle += consumed;
+        if (consumed > 1)
+            soc.system().clint.tick(consumed - 1);
         if (dt && !dt->ok()) {
             std::printf("[difftest] MISMATCH: %s\n",
                         dt->failures().front().c_str());
