@@ -18,6 +18,9 @@
 
 #include "bench_util.h"
 
+#include "checkpoint/generator.h"
+#include "sample/engine.h"
+
 using namespace bench;
 using minjie::uarch::DramCfg;
 using minjie::xs::CoreConfig;
@@ -89,9 +92,19 @@ makeConfigs()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bool fast = fastMode();
+    // --sample N: evaluate each (benchmark, config) cell with the
+    // fork-fanout sampled engine over N workers instead of one full
+    // detailed run — the paper's Fig. 12 methodology (profile once,
+    // run SimPoint slices per configuration).
+    unsigned sampleWorkers = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--sample" && i + 1 < argc)
+            sampleWorkers = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 0));
+    }
     // Memory-bound benchmarks need enough instructions for their
     // ~2.6MB chase footprint to be re-walked (LLC capacity effects);
     // cache-resident ones settle much sooner.
@@ -126,10 +139,30 @@ main()
         for (const auto &spec : suite) {
             std::printf("%-18s", spec.name);
             std::fflush(stdout);
+            auto prog = wl::buildProxy(spec, iterations);
+            InstCount budget = budgetFor(spec);
+
+            // Sampled mode: one profiling pass per benchmark, then
+            // every configuration evaluates the same checkpoint pack.
+            minjie::sample::PackReader pack;
+            if (sampleWorkers > 0) {
+                auto gen = minjie::checkpoint::generateCheckpoints(
+                    prog, budget / 5, 3, budget);
+                pack.openMemory(minjie::sample::packFromGen(gen));
+            }
             for (size_t i = 0; i < configs.size(); ++i) {
-                auto prog = wl::buildProxy(spec, iterations);
-                double ipc = measureIpc(configs[i].cfg, prog,
-                                        budgetFor(spec));
+                double ipc;
+                if (sampleWorkers > 0 && pack.valid()) {
+                    minjie::sample::SampleConfig scfg;
+                    scfg.workers = sampleWorkers;
+                    scfg.warmupInsts = budget / 20;
+                    scfg.measureInsts = budget / 10;
+                    scfg.coreCfg = configs[i].cfg;
+                    ipc = minjie::sample::runSampled(pack, scfg)
+                              .weightedIpc();
+                } else {
+                    ipc = measureIpc(configs[i].cfg, prog, budget);
+                }
                 out[i].push_back(ipc);
                 std::printf(" %20.3f", ipc);
                 std::fflush(stdout);

@@ -19,6 +19,7 @@ const std::vector<std::string> DET_SCOPE = {
     "src/difftest/",
     "src/archdb/",
     "src/obs/",
+    "src/sample/", // weighted reduction: worker-count invariant
     "src/xiangshan/", // DUT timing model: cycle-exact across schedulers
     "tools/",
 };

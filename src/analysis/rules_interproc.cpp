@@ -92,8 +92,18 @@ class GraphRuleBase : public GraphRule
 
 // ---------------------------------------------------------------- FRK2
 
-const std::vector<std::string> FRK_FILE_SCOPE = {"src/lightsss/",
-                                                 "src/obs/"};
+const std::vector<std::string> FRK_FILE_SCOPE = {
+    "src/lightsss/", "src/obs/", "src/sample/"};
+
+/** Functions that sit at a fork point themselves: the LightSSS
+ *  snapshotter and the sampled-simulation worker pool both fork, so
+ *  everything they reach runs on a fork path. */
+bool
+isForkRootPath(const std::string &path)
+{
+    return path.compare(0, 13, "src/lightsss/") == 0 ||
+           path.compare(0, 11, "src/sample/") == 0;
+}
 
 /** Fork-unsafe work transitively reachable from the LightSSS
  *  snapshot/replay path. */
@@ -117,8 +127,7 @@ class ForkReachability final : public GraphRuleBase
         std::vector<uint32_t> roots;
         for (uint32_t id = 0;
              id < static_cast<uint32_t>(m.nodes().size()); ++id)
-            if (m.nodes()[id].path.compare(0, 13, "src/lightsss/") ==
-                0)
+            if (isForkRootPath(m.nodes()[id].path))
                 roots.push_back(id);
         auto parents = m.reach(roots, [&](uint32_t id) {
             const Node &n = m.nodes()[id];
@@ -169,7 +178,7 @@ class ForkReachability final : public GraphRuleBase
                 auto frames = m.witness(parents, id, c.line);
                 out.push_back(makeFinding(
                     ctx, "MJ-FRK2-001", n.path, c.line,
-                    "reachable from the LightSSS fork path: " + why,
+                    "reachable from a fork path: " + why,
                     std::move(frames)));
             }
             if (!inFrkScope) {
@@ -178,9 +187,9 @@ class ForkReachability final : public GraphRuleBase
                     out.push_back(makeFinding(
                         ctx, "MJ-FRK2-001", n.path, l.line,
                         "lock on '" + l.lockName +
-                            "' reachable from the LightSSS fork "
-                            "path: a mutex held by another thread at "
-                            "fork() stays locked forever in the child",
+                            "' reachable from a fork path: a mutex "
+                            "held by another thread at fork() stays "
+                            "locked forever in the child",
                         std::move(frames)));
                 }
             }
@@ -192,8 +201,8 @@ class ForkReachability final : public GraphRuleBase
 
 const std::vector<std::string> DET2_SCOPE = {
     "src/campaign/", "src/difftest/",   "src/archdb/",
-    "src/obs/",      "src/checkpoint/", "src/xiangshan/",
-    "tools/",
+    "src/obs/",      "src/checkpoint/", "src/sample/",
+    "src/xiangshan/", "tools/",
 };
 
 /** Nondeterminism taint flowing through calls into deterministic

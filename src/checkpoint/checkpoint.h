@@ -35,7 +35,26 @@ struct Checkpoint
     bool valid() const { return !bytes.empty(); }
 };
 
-/** Serialize @p state and every allocated page of @p mem. */
+/**
+ * Byte size of the fixed architectural-state header that starts every
+ * checkpoint image (magic through the CSR block, memory excluded).
+ * The sampled-simulation pack store splits images at this boundary so
+ * N checkpoints of one program can share one deduplicated page pool.
+ */
+size_t archHeaderBytes();
+
+/** Append just the architectural-state header for @p state to @p v. */
+void serializeArch(std::vector<uint8_t> &v, const iss::ArchState &state);
+
+/**
+ * Decode an architectural-state header at @p data into @p state.
+ * @return false when @p len is short or the magic does not match.
+ */
+bool restoreArch(const uint8_t *data, size_t len, iss::ArchState &state);
+
+/** Serialize @p state and every allocated page of @p mem. All-zero
+ *  pages are elided from the image; restore() re-creates them as
+ *  zero-fill on first touch. */
 Checkpoint serialize(const iss::ArchState &state,
                      const mem::PhysMem &mem, uint64_t instCount = 0);
 

@@ -37,6 +37,18 @@ generateCheckpoints(const workload::Program &prog,
     // ---- SimPoint clustering ----
     out.simpoints = simpoint(bbv.intervals(), maxK);
 
+    // Short-program edge: a run that retires fewer than intervalInsts
+    // instructions after its last control transfer (or none at all)
+    // reports no complete BBV interval, and clustering nothing would
+    // return an empty GenResult. Fall back to a single whole-run
+    // checkpoint of weight 1.0 — interval 0 makes pass 2 snapshot the
+    // initial state, so restoring it replays the entire execution.
+    if (out.simpoints.intervals.empty()) {
+        out.simpoints.intervals = {0};
+        out.simpoints.weights = {1.0};
+        out.simpoints.assignment = {0};
+    }
+
     // ---- pass 2: re-run fast and snapshot at interval boundaries ----
     std::vector<std::pair<InstCount, size_t>> boundaries;
     for (size_t i = 0; i < out.simpoints.intervals.size(); ++i) {

@@ -73,6 +73,18 @@ class CounterSnapshot
             values[k] += v;
     }
 
+    /** Per-key `values[k] += other[k] * scale`: the integer-weighted
+     *  merge the sampled-simulation reduction uses. Scaling every key
+     *  by the same factor preserves any exact-sum relation between
+     *  keys (sums are linear), so a weighted top-down stack still
+     *  satisfies sumsExactly(). */
+    void
+    mergeScaled(const CounterSnapshot &other, uint64_t scale)
+    {
+        for (const auto &[k, v] : other.values)
+            values[k] += v * scale;
+    }
+
     /** this - earlier, clamped at zero per key (monotonic counters). */
     CounterSnapshot delta(const CounterSnapshot &earlier) const;
 

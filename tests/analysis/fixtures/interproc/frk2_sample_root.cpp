@@ -1,0 +1,15 @@
+// MJ-FRK2 fixture, sample-engine root TU: loaded under src/sample/
+// so the worker pool's fork-then-report path is a fork-path root. The
+// classic bug: fork() a slice worker, then call a helper that writes
+// through buffered stdio — bytes pending at fork() are emitted twice.
+// Fixture data only — never compiled.
+
+namespace minjie::sample {
+
+void
+evalSliceForked(int idx)
+{
+    util::emitProgress(idx);
+}
+
+} // namespace minjie::sample

@@ -118,6 +118,20 @@ TEST(Rules, ForkFixtureFiresExactIds)
     EXPECT_EQ(res.findings.size(), 3u);
 }
 
+TEST(Rules, ForkRulesCoverSampleEngineScope)
+{
+    // Regression for the scope extension that came with the sampled
+    // simulation engine: src/sample/ forks one worker per SimPoint
+    // slice, so the per-file fork rules apply there verbatim.
+    auto res = plainEngine().runOnFile(
+        loadFixture("fork.cpp", "src/sample/fixture.cpp"));
+    auto ids = idCounts(res);
+    EXPECT_EQ(ids["MJ-FRK-001"], 1);
+    EXPECT_EQ(ids["MJ-FRK-002"], 1);
+    EXPECT_EQ(ids["MJ-FRK-003"], 1);
+    EXPECT_EQ(res.findings.size(), 3u);
+}
+
 TEST(Rules, ForkRulesStopAtLightsssBoundary)
 {
     // The campaign driver quiesces before snapshots; threads and

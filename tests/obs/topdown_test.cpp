@@ -74,6 +74,39 @@ TEST(CpiStack, SyntheticMixesAttributeAndSum)
     EXPECT_DOUBLE_EQ(blend.share(blend.backendMem), 0.30);
 }
 
+TEST(CpiStack, WeightedReductionPreservesExactSum)
+{
+    // The sampled-simulation reduction: per-slice snapshots merged
+    // with integer SimPoint weight numerators (mergeScaled). Scaling
+    // and summing are linear, so the bucket partition must still sum
+    // exactly to the weighted cycle total — for any weights.
+    auto a = syntheticMix(10, 20, 30, 40, 50);   // 150 cycles
+    auto b = syntheticMix(100, 0, 0, 0, 0);      // 100 cycles
+    auto c = syntheticMix(7, 13, 0, 19, 23);     // 62 cycles
+
+    CounterSnapshot weighted;
+    weighted.mergeScaled(a, 3);
+    weighted.mergeScaled(b, 5);
+    weighted.mergeScaled(c, 2);
+
+    CpiStack st = CpiStack::fromCounters(weighted, "core0");
+    EXPECT_TRUE(st.sumsExactly());
+    EXPECT_EQ(st.cycles, 3 * 150u + 5 * 100u + 2 * 62u);
+    EXPECT_EQ(st.retiring, 3 * 10u + 5 * 100u + 2 * 7u);
+    EXPECT_EQ(st.backendMem, 3 * 40u + 2 * 19u);
+
+    // Grouping invariance: merging pre-scaled partial sums in any
+    // order yields the identical snapshot (worker-count invariance).
+    CounterSnapshot other;
+    other.mergeScaled(c, 2);
+    CounterSnapshot partial;
+    partial.mergeScaled(b, 5);
+    partial.mergeScaled(a, 3);
+    other.merge(partial);
+    EXPECT_EQ(other, weighted);
+    EXPECT_EQ(other.toJson(), weighted.toJson());
+}
+
 TEST(CpiStack, MismatchIsReported)
 {
     CounterSnapshot s = syntheticMix(10, 10, 10, 10, 10);

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Sampled-simulation engine tests: the .mjk pack store (dedup, mmap,
+ * exact integer weights) and the fork-fanout evaluation engine
+ * (worker-count invariance, crash isolation, warmup semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "checkpoint/generator.h"
+#include "iss/system.h"
+#include "nemu/nemu.h"
+#include "sample/engine.h"
+#include "sample/store.h"
+
+namespace {
+
+using namespace minjie;
+namespace wl = minjie::workload;
+namespace cp = minjie::checkpoint;
+
+/** Small deterministic pack shared by the engine tests. */
+cp::GenResult
+makeGen(uint64_t iters = 200, InstCount interval = 20'000)
+{
+    auto prog = wl::coremarkProxy(iters);
+    return cp::generateCheckpoints(prog, interval, 4, 10'000'000);
+}
+
+sample::PackReader
+makePack(const cp::GenResult &gen)
+{
+    sample::PackReader pack;
+    EXPECT_TRUE(pack.openMemory(sample::packFromGen(gen)));
+    return pack;
+}
+
+TEST(SampleStore, PackRoundtripMatchesCheckpointRestore)
+{
+    auto gen = makeGen();
+    ASSERT_GE(gen.checkpoints.size(), 1u);
+    auto pack = makePack(gen);
+    ASSERT_EQ(pack.count(), gen.checkpoints.size());
+
+    for (size_t i = 0; i < pack.count(); ++i) {
+        iss::ArchState a, b;
+        mem::PhysMem memA(0x80000000, 1 << 26);
+        mem::PhysMem memB(0x80000000, 1 << 26);
+        ASSERT_TRUE(cp::restore(gen.checkpoints[i], a, memA));
+        ASSERT_TRUE(pack.restoreInto(i, b, memB));
+
+        EXPECT_EQ(a.pc, b.pc) << "checkpoint " << i;
+        EXPECT_EQ(a.instret, b.instret);
+        for (int r = 0; r < 32; ++r) {
+            EXPECT_EQ(a.x[r], b.x[r]) << "x" << r;
+            EXPECT_EQ(a.f[r], b.f[r]) << "f" << r;
+        }
+        EXPECT_EQ(a.csr.mstatus, b.csr.mstatus);
+        EXPECT_EQ(a.csr.satp, b.csr.satp);
+        // Memory equality including zero-elided pages.
+        for (Addr addr = 0x80000000; addr < 0x80000000 + 0x40000;
+             addr += 0x1000) {
+            uint64_t va = 0, vb = 0;
+            memA.read(addr, 8, va);
+            memB.read(addr, 8, vb);
+            ASSERT_EQ(va, vb) << std::hex << addr;
+        }
+        EXPECT_EQ(pack.instCount(i), gen.checkpoints[i].instCount);
+    }
+}
+
+TEST(SampleStore, WeightsAreExactIntegersSummingToOne)
+{
+    auto gen = makeGen();
+    auto pack = makePack(gen);
+    uint64_t sum = 0;
+    for (size_t i = 0; i < pack.count(); ++i)
+        sum += pack.weightNum(i);
+    // SimPoint weights are clusterSize/nIntervals: numerators must
+    // sum exactly to the common denominator (total intervals).
+    EXPECT_EQ(sum, pack.weightDen());
+    for (size_t i = 0; i < pack.count(); ++i)
+        EXPECT_NEAR(pack.weight(i), gen.checkpoints[i].weight, 1e-12);
+}
+
+TEST(SampleStore, DedupsPagesAcrossCheckpoints)
+{
+    // Checkpoints of the same program share most of their image (code
+    // pages, untouched data); the pool must store those pages once.
+    auto gen = makeGen(400);
+    ASSERT_GE(gen.checkpoints.size(), 2u);
+
+    sample::PackWriter w(gen.simpoints.assignment.size());
+    size_t rawBytes = 0;
+    for (const auto &c : gen.checkpoints) {
+        ASSERT_TRUE(w.add(c, 1));
+        rawBytes += c.bytes.size();
+    }
+    EXPECT_LT(w.poolPages(), w.totalPageRefs())
+        << "no page was shared between checkpoints";
+    EXPECT_LT(w.bytes().size(), rawBytes)
+        << "pack is not smaller than the per-checkpoint images";
+}
+
+TEST(SampleStore, MmapFileMatchesInMemory)
+{
+    auto gen = makeGen();
+    auto bytes = sample::packFromGen(gen);
+
+    sample::PackWriter w(gen.simpoints.assignment.size() == 0
+                             ? 1
+                             : gen.simpoints.assignment.size());
+    std::string path = "sample_test_pack.mjk";
+    {
+        sample::PackReader mem;
+        ASSERT_TRUE(mem.openMemory(bytes));
+        // Write the identical bytes and mmap them back.
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                  bytes.size());
+        std::fclose(f);
+
+        sample::PackReader file;
+        ASSERT_TRUE(file.openFile(path));
+        ASSERT_EQ(file.count(), mem.count());
+        EXPECT_EQ(file.sizeBytes(), mem.sizeBytes());
+        for (size_t i = 0; i < file.count(); ++i) {
+            iss::ArchState a, b;
+            mem::PhysMem ma(0x80000000, 1 << 26);
+            mem::PhysMem mb(0x80000000, 1 << 26);
+            ASSERT_TRUE(mem.restoreInto(i, a, ma));
+            ASSERT_TRUE(file.restoreInto(i, b, mb));
+            EXPECT_EQ(a.pc, b.pc);
+            EXPECT_EQ(a.x[10], b.x[10]);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SampleStore, RejectsGarbageAndTruncation)
+{
+    sample::PackReader r;
+    EXPECT_FALSE(r.openMemory(std::vector<uint8_t>(64, 0xab)));
+    EXPECT_FALSE(r.openMemory({}));
+
+    auto bytes = sample::packFromGen(makeGen());
+    bytes.resize(bytes.size() / 2); // chop the page pool
+    EXPECT_FALSE(r.openMemory(std::move(bytes)));
+    EXPECT_FALSE(r.openFile("/nonexistent/pack.mjk"));
+}
+
+TEST(SampleEngine, SliceBlobRoundtrip)
+{
+    sample::SliceResult s;
+    s.ok = true;
+    s.cycles = 123456;
+    s.instrs = 7890;
+    s.counters.set("core0.cycles", 123456);
+    s.counters.set("core0.topdown.retiring", 42);
+    s.counters.set("mem.l2.hits", 17);
+
+    sample::SliceResult d;
+    ASSERT_TRUE(sample::decodeSlice(sample::encodeSlice(s), d));
+    EXPECT_EQ(d.ok, s.ok);
+    EXPECT_EQ(d.cycles, s.cycles);
+    EXPECT_EQ(d.instrs, s.instrs);
+    EXPECT_EQ(d.counters, s.counters);
+
+    sample::SliceResult bad;
+    EXPECT_FALSE(sample::decodeSlice({1, 2, 3}, bad));
+}
+
+TEST(SampleEngine, WorkerCountInvariance)
+{
+    // The acceptance gate: weighted IPC and the merged top-down stack
+    // must be byte-identical for any worker count on the same pack.
+    auto gen = makeGen();
+    auto pack = makePack(gen);
+
+    sample::SampleConfig cfg;
+    cfg.measureInsts = 3'000;
+    cfg.maxCycles = 5'000'000;
+
+    cfg.workers = 1;
+    auto base = sample::runSampled(pack, cfg);
+    ASSERT_TRUE(base.allOk());
+    ASSERT_GT(base.weightedInstrs, 0u);
+    EXPECT_TRUE(base.stack.sumsExactly());
+
+    for (unsigned w : {2u, 3u, 8u}) {
+        cfg.workers = w;
+        auto rep = sample::runSampled(pack, cfg);
+        ASSERT_TRUE(rep.allOk()) << w << " workers";
+        // Byte-identical reduction: serialized counters and the
+        // rendered stack, not just the scalar IPC.
+        EXPECT_EQ(rep.weighted.toJson(), base.weighted.toJson())
+            << w << " workers";
+        EXPECT_EQ(rep.weightedCycles, base.weightedCycles);
+        EXPECT_EQ(rep.weightedInstrs, base.weightedInstrs);
+        EXPECT_EQ(rep.stack.table("t"), base.stack.table("t"));
+        for (size_t i = 0; i < rep.slices.size(); ++i) {
+            EXPECT_EQ(rep.slices[i].cycles, base.slices[i].cycles);
+            EXPECT_EQ(rep.slices[i].counters, base.slices[i].counters);
+        }
+    }
+}
+
+TEST(SampleEngine, WeightedStackKeepsExactSum)
+{
+    auto pack = makePack(makeGen());
+    sample::SampleConfig cfg;
+    cfg.workers = 2;
+    cfg.measureInsts = 3'000;
+    auto rep = sample::runSampled(pack, cfg);
+    ASSERT_TRUE(rep.allOk());
+    // Integer weighting is linear, so the bucket partition survives:
+    // sum_i w_i * (buckets_i) == sum_i w_i * cycles_i, exactly.
+    EXPECT_TRUE(rep.stack.sumsExactly());
+    EXPECT_EQ(rep.stack.cycles, rep.weightedCycles);
+    EXPECT_EQ(rep.stack.instrs, rep.weightedInstrs);
+    EXPECT_GT(rep.weightedIpc(), 0.0);
+}
+
+TEST(SampleEngine, CrashIsolation)
+{
+    // A dying worker loses its own slice and nothing else.
+    auto pack = makePack(makeGen());
+    ASSERT_GE(pack.count(), 2u);
+
+    sample::SampleConfig cfg;
+    cfg.workers = 2;
+    cfg.measureInsts = 3'000;
+    cfg.crashSliceForTest = 0;
+    auto rep = sample::runSampled(pack, cfg);
+    EXPECT_EQ(rep.failures, 1u);
+    EXPECT_FALSE(rep.slices[0].ok);
+    for (size_t i = 1; i < rep.slices.size(); ++i)
+        EXPECT_TRUE(rep.slices[i].ok) << "slice " << i;
+    // The reduction proceeds over the surviving slices.
+    EXPECT_GT(rep.weightedInstrs, 0u);
+    EXPECT_TRUE(rep.stack.sumsExactly());
+}
+
+TEST(SampleEngine, FunctionalWarmupAdvancesMeasurementPoint)
+{
+    auto gen = makeGen();
+    auto pack = makePack(gen);
+
+    sample::SampleConfig cold;
+    cold.measureInsts = 3'000;
+    auto a = sample::runSlice(pack, 0, cold);
+    ASSERT_TRUE(a.ok);
+
+    sample::SampleConfig warm = cold;
+    warm.warmupInsts = 5'000;
+    auto b = sample::runSlice(pack, 0, warm);
+    ASSERT_TRUE(b.ok);
+
+    // Both measure a full window; the warmed slice starts 5000
+    // instructions later, so the windows differ.
+    EXPECT_GE(a.instrs, cold.measureInsts);
+    EXPECT_GE(b.instrs, cold.measureInsts);
+    EXPECT_NE(a.counters, b.counters);
+}
+
+TEST(SampleEngine, InProcessAndForkedSliceAgree)
+{
+    // The fork fallback path (pipe/fork failure) runs slices
+    // in-process; both paths must produce identical results for the
+    // invariance guarantee to hold under fork pressure.
+    auto pack = makePack(makeGen());
+    sample::SampleConfig cfg;
+    cfg.measureInsts = 3'000;
+
+    auto direct = sample::runSlice(pack, 0, cfg);
+    ASSERT_TRUE(direct.ok);
+
+    cfg.workers = 2; // forked evaluation of the same slice
+    auto rep = sample::runSampled(pack, cfg);
+    ASSERT_TRUE(rep.slices[0].ok);
+    EXPECT_EQ(rep.slices[0].cycles, direct.cycles);
+    EXPECT_EQ(rep.slices[0].instrs, direct.instrs);
+    EXPECT_EQ(rep.slices[0].counters, direct.counters);
+}
+
+} // namespace

@@ -21,6 +21,7 @@
 
 #include "campaign/campaign.h"
 #include "isa/op.h"
+#include "obs/topdown.h"
 
 using namespace minjie;
 using namespace minjie::campaign;
@@ -222,6 +223,12 @@ main(int argc, char **argv)
                         agg.get("dut.cycles")),
                     static_cast<unsigned long long>(
                         agg.get("dut.instrs")));
+        // Aggregated counters are per-key sums, so the top-down
+        // bucket partition survives aggregation exactly.
+        auto stack = obs::CpiStack::fromCounters(agg, "dut");
+        std::printf("%s", stack.table("campaign top-down").c_str());
+        std::printf("campaign: top-down exact-sum: %s\n",
+                    stack.sumsExactly() ? "PASS" : "FAIL");
     }
 
     if (outFile == "-") {

@@ -17,14 +17,17 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
+#include "checkpoint/generator.h"
 #include "common/clock.h"
 #include "difftest/difftest.h"
 #include "iss/interp.h"
 #include "iss/system.h"
 #include "lightsss/lightsss.h"
 #include "nemu/nemu.h"
+#include "sample/engine.h"
 #include "workload/programs.h"
 #include "xiangshan/soc.h"
 
@@ -44,6 +47,17 @@ struct Options
     Cycle lightsssInterval = 0;
     uint64_t faultAfter = 0; // inject a load fault (difftest demo)
     xs::ModelOpts model;     // --xs-no-* fast-path ablations
+
+    // Sampled simulation (--sample): SimPoint checkpoints evaluated
+    // across forked workers instead of one full detailed run.
+    bool sample = false;
+    unsigned workers = 1;
+    uint64_t warmup = 0;
+    uint64_t measure = 20'000;
+    uint64_t interval = 50'000;
+    unsigned maxK = 4;
+    std::string packOut; // write the .mjk pack here
+    std::string packIn;  // evaluate an existing pack (skips profiling)
 };
 
 void
@@ -62,6 +76,14 @@ usage()
         "  --xs-no-bitset reference scan-based scheduling (xiangshan)\n"
         "  --xs-no-skip   disable event-driven idle-cycle skipping\n"
         "  --xs-no-batch  per-instruction commit probe delivery\n"
+        "  --sample       SimPoint sampled evaluation (fork-fanout)\n"
+        "  --workers N    forked slice workers (default 1)\n"
+        "  --warmup M     functional-warmup instructions per slice\n"
+        "  --measure N    detailed window per slice (default 20000)\n"
+        "  --interval N   SimPoint interval length (default 50000)\n"
+        "  --max-k K      max SimPoint clusters (default 4)\n"
+        "  --pack-out F   write the .mjk checkpoint pack to F\n"
+        "  --pack-in F    evaluate an existing .mjk pack\n"
         "  --list         list available workloads\n");
 }
 
@@ -228,6 +250,98 @@ runXiangshan(const Options &opt, const wl::Program &prog)
     return 0;
 }
 
+int
+runSampledFlow(const Options &opt, const wl::Program &prog)
+{
+    xs::CoreConfig cfg = opt.config == "yqh" ? xs::CoreConfig::yqh()
+                         : opt.config == "gem5ish"
+                             ? xs::CoreConfig::gem5ish()
+                             : xs::CoreConfig::nh();
+    cfg.model = opt.model;
+
+    sample::PackReader pack;
+    if (!opt.packIn.empty()) {
+        if (!pack.openFile(opt.packIn)) {
+            std::fprintf(stderr, "cannot open pack '%s'\n",
+                         opt.packIn.c_str());
+            return 1;
+        }
+    } else {
+        std::printf("[sample] profiling %s (interval %llu, max-k %u)\n",
+                    opt.workload.c_str(),
+                    static_cast<unsigned long long>(opt.interval),
+                    opt.maxK);
+        auto gen = checkpoint::generateCheckpoints(
+            prog, opt.interval, opt.maxK, opt.maxInstrs);
+        std::printf("[sample] %zu checkpoints from %llu instructions "
+                    "(profile %.1f MIPS)\n",
+                    gen.checkpoints.size(),
+                    static_cast<unsigned long long>(gen.totalInsts),
+                    gen.profileMips);
+        auto bytes = sample::packFromGen(gen);
+        if (bytes.empty()) {
+            std::fprintf(stderr, "checkpoint generation failed\n");
+            return 1;
+        }
+        if (!opt.packOut.empty()) {
+            std::ofstream f(opt.packOut, std::ios::binary);
+            f.write(reinterpret_cast<const char *>(bytes.data()),
+                    static_cast<std::streamsize>(bytes.size()));
+            if (!f) {
+                std::fprintf(stderr, "cannot write pack '%s'\n",
+                             opt.packOut.c_str());
+                return 1;
+            }
+            std::printf("[sample] pack written to %s\n",
+                        opt.packOut.c_str());
+        }
+        if (!pack.openMemory(std::move(bytes))) {
+            std::fprintf(stderr, "pack parse failed\n");
+            return 1;
+        }
+    }
+
+    sample::SampleConfig scfg;
+    scfg.workers = opt.workers;
+    scfg.warmupInsts = opt.warmup;
+    scfg.measureInsts = opt.measure;
+    scfg.coreCfg = cfg;
+    auto rep = sample::runSampled(pack, scfg);
+
+    std::printf("[sample] pack: %zu checkpoints, %zu pooled pages, "
+                "%.1f KiB\n",
+                pack.count(), pack.poolPages(),
+                static_cast<double>(pack.sizeBytes()) / 1024.0);
+    for (size_t i = 0; i < rep.slices.size(); ++i) {
+        const auto &s = rep.slices[i];
+        std::printf("  slice %zu @%-10llu w=%llu/%llu  %s", i,
+                    static_cast<unsigned long long>(pack.instCount(i)),
+                    static_cast<unsigned long long>(pack.weightNum(i)),
+                    static_cast<unsigned long long>(pack.weightDen()),
+                    s.ok ? "" : "FAILED");
+        if (s.ok)
+            std::printf("%llu instrs / %llu cycles (ipc %.3f)",
+                        static_cast<unsigned long long>(s.instrs),
+                        static_cast<unsigned long long>(s.cycles),
+                        s.cycles ? static_cast<double>(s.instrs) /
+                                       static_cast<double>(s.cycles)
+                                 : 0.0);
+        std::printf("\n");
+    }
+    std::printf("[sample] weighted ipc %.4f (cpi %.4f), %u workers, "
+                "%.3fs wall\n",
+                rep.weightedIpc(), rep.weightedCpi(), opt.workers,
+                rep.wallSec);
+    std::printf("%s", rep.stack.table("weighted top-down").c_str());
+    std::printf("[sample] top-down exact-sum: %s\n",
+                rep.stack.sumsExactly() ? "PASS" : "FAIL");
+    if (rep.failures) {
+        std::printf("[sample] %u slice(s) failed\n", rep.failures);
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -255,6 +369,24 @@ main(int argc, char **argv)
             opt.lightsssInterval = std::strtoull(next(), nullptr, 0);
         else if (arg == "--inject-fault")
             opt.faultAfter = 1;
+        else if (arg == "--sample")
+            opt.sample = true;
+        else if (arg == "--workers")
+            opt.workers = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        else if (arg == "--warmup")
+            opt.warmup = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--measure")
+            opt.measure = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--interval")
+            opt.interval = std::strtoull(next(), nullptr, 0);
+        else if (arg == "--max-k")
+            opt.maxK = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 0));
+        else if (arg == "--pack-out")
+            opt.packOut = next();
+        else if (arg == "--pack-in")
+            opt.packIn = next();
         else if (arg == "--xs-no-bitset")
             opt.model.bitsetSched = false;
         else if (arg == "--xs-no-skip")
@@ -283,6 +415,8 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (opt.sample)
+        return runSampledFlow(opt, prog);
     if (opt.engine == "xiangshan")
         return runXiangshan(opt, prog);
     return runInterpreter(opt, prog);
